@@ -1,0 +1,51 @@
+//! Ablation: why Giallar needs symbolic equivalence checking.
+//!
+//! Compares the cost of the symbolic rewrite-based check against the dense
+//! matrix check as the register grows; the matrix check blows up
+//! exponentially while the symbolic check stays flat.
+
+use bench::{ablation_rows, ablation_text};
+use criterion::{criterion_group, criterion_main, Criterion};
+use qc_ir::unitary::circuits_equivalent;
+use qc_ir::Circuit;
+use qc_symbolic::{check_equivalence, SymCircuit};
+
+fn cancellation_pair(n: usize) -> (Circuit, Circuit) {
+    let mut lhs = Circuit::new(n);
+    let mut rhs = Circuit::new(n);
+    for q in 0..n - 1 {
+        lhs.cx(q, q + 1).cx(q, q + 1);
+        lhs.h(q);
+        rhs.h(q);
+    }
+    (lhs, rhs)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    println!("\n=== Ablation: symbolic vs matrix equivalence checking ===");
+    println!("{}", ablation_text(&ablation_rows(12)));
+
+    let mut group = c.benchmark_group("equivalence_checking");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [4usize, 6, 8] {
+        let (lhs, rhs) = cancellation_pair(n);
+        group.bench_function(format!("matrix/{n}_qubits"), |b| {
+            b.iter(|| circuits_equivalent(&lhs, &rhs).unwrap())
+        });
+    }
+    for n in [4usize, 8, 10, 16, 24] {
+        let (lhs, rhs) = cancellation_pair(n);
+        group.bench_function(format!("symbolic/{n}_qubits"), |b| {
+            b.iter(|| {
+                check_equivalence(&SymCircuit::from_circuit(&lhs), &SymCircuit::from_circuit(&rhs))
+                    .is_proved()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 11: compilation time of the unverified baseline versus the
+//! verified (wrapped) Giallar pipeline on the QASMBench suite, using the
+//! lookahead swap pass on a 27-qubit heavy-hex device.
+
+use bench::{figure11_rows, figure11_text};
+use criterion::{criterion_group, criterion_main, Criterion};
+use giallar_core::wrapper::{baseline_transpile, giallar_transpile};
+use qc_ir::CouplingMap;
+
+fn bench_figure11(c: &mut Criterion) {
+    let device = CouplingMap::falcon27();
+    let rows = figure11_rows(&device, 7);
+    println!("\n=== Figure 11: Qiskit vs Giallar compilation time (falcon-27, lookahead swap) ===");
+    println!("{}", figure11_text(&rows));
+    let max_overhead = rows.iter().map(|r| r.overhead()).fold(f64::MIN, f64::max);
+    println!(
+        "maximum overhead across {} circuits: {:.1}%",
+        rows.len(),
+        max_overhead * 100.0
+    );
+
+    let mut group = c.benchmark_group("figure11_compilation");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for bench_circuit in qasmbench::benchmark_suite()
+        .into_iter()
+        .filter(|b| ["ghz_16", "qft_16", "ising_20_10", "adder_13"].contains(&b.name.as_str()))
+    {
+        let qiskit_name = format!("qiskit/{}", bench_circuit.name);
+        let giallar_name = format!("giallar/{}", bench_circuit.name);
+        let circuit = bench_circuit.circuit.clone();
+        group.bench_function(&qiskit_name, |b| {
+            b.iter(|| baseline_transpile(&circuit, &device, 7).unwrap().circuit.size())
+        });
+        let circuit = bench_circuit.circuit.clone();
+        group.bench_function(&giallar_name, |b| {
+            b.iter(|| giallar_transpile(&circuit, &device, 7).unwrap().circuit.size())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure11);
+criterion_main!(benches);

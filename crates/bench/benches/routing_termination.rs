@@ -1,0 +1,64 @@
+//! §7.3 case study: routing performance and the lookahead-swap termination
+//! bug on the IBM 16-qubit device of Figure 10.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use giallar_core::case_studies::lookahead_termination_case_study;
+use qc_ir::{Circuit, CouplingMap, DagCircuit};
+use qc_passes::pass::{PropertySet, TranspilerPass};
+use qc_passes::routing::{BasicSwap, LookaheadSwap, SabreSwap};
+
+fn figure10_circuit() -> Circuit {
+    let mut c = Circuit::new(16);
+    c.cx(0, 8).cx(0, 7).cx(8, 15).cx(0, 15);
+    c
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let study = lookahead_termination_case_study();
+    println!("\n=== Figure 10 / §7.3: lookahead_swap termination case study ===");
+    println!("bug detected: {}", study.bug_detected);
+    println!("evidence: {}", study.evidence);
+    println!("fixed version verified/terminates: {}", study.fixed_version_verified);
+
+    let coupling = CouplingMap::ibm16();
+    let circuit = figure10_circuit();
+    let mut group = c.benchmark_group("routing_ibm16");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("lookahead_swap_fixed", |b| {
+        b.iter(|| {
+            let mut dag = DagCircuit::from_circuit(&circuit);
+            let mut props = PropertySet::new();
+            LookaheadSwap::new(coupling.clone(), 3).run(&mut dag, &mut props).unwrap();
+            dag.size()
+        })
+    });
+    group.bench_function("lookahead_swap_buggy_budget_exhaustion", |b| {
+        b.iter(|| {
+            let mut dag = DagCircuit::from_circuit(&circuit);
+            let mut props = PropertySet::new();
+            LookaheadSwap::buggy(coupling.clone()).run(&mut dag, &mut props).is_err()
+        })
+    });
+    group.bench_function("basic_swap", |b| {
+        b.iter(|| {
+            let mut dag = DagCircuit::from_circuit(&circuit);
+            let mut props = PropertySet::new();
+            BasicSwap::new(coupling.clone()).run(&mut dag, &mut props).unwrap();
+            dag.size()
+        })
+    });
+    group.bench_function("sabre_swap", |b| {
+        b.iter(|| {
+            let mut dag = DagCircuit::from_circuit(&circuit);
+            let mut props = PropertySet::new();
+            SabreSwap::new(coupling.clone(), 5).run(&mut dag, &mut props).unwrap();
+            dag.size()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

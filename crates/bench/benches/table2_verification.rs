@@ -1,0 +1,48 @@
+//! Table 2: verification time for every verified pass.
+//!
+//! Prints the full table once, then benchmarks the verification of a
+//! representative subset of passes plus the whole registry.
+
+use bench::{table2_reports, table2_text};
+use criterion::{criterion_group, criterion_main, Criterion};
+use giallar_core::registry::verified_passes;
+use giallar_core::verifier::verify_pass;
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n=== Table 2: verification of the 44 Qiskit passes ===");
+    println!("{}", table2_text());
+
+    let mut group = c.benchmark_group("table2_verification");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for name in [
+        "CXCancellation",
+        "CommutativeCancellation",
+        "GateDirection",
+        "LookaheadSwap",
+        "Optimize1qGates",
+        "Depth",
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let passes = verified_passes();
+                let pass = passes.iter().find(|p| p.name == name).unwrap();
+                let report = verify_pass(pass);
+                assert!(report.verified);
+                report.subgoals
+            })
+        });
+    }
+    group.bench_function("all_44_passes", |b| {
+        b.iter(|| {
+            let reports = table2_reports();
+            assert_eq!(reports.len(), 44);
+            reports.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

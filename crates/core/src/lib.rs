@@ -1,0 +1,60 @@
+//! # giallar-core — push-button verification for quantum compiler passes
+//!
+//! This crate is the reproduction of the Giallar toolkit itself (PLDI 2022):
+//! it verifies, without manual invariants or proofs, that compiler passes
+//! preserve the semantics of quantum circuits.
+//!
+//! The architecture follows the paper:
+//!
+//! * [`templates`] — the three loop templates (`iterate_all_gates`,
+//!   `while_gate_remaining`, `collect_runs`).  A pass describes each branch of
+//!   its loop body as "what it consumes from the remaining gates, what it
+//!   emits to the output, what it keeps"; the template turns every branch into
+//!   a proof obligation that re-establishes the automatically inferred loop
+//!   invariant, plus a termination subgoal for while-loops.
+//! * [`library`] — the verified utility library (`next_gate`,
+//!   `shortest_path`, `merge_1q_gate`, the decomposition library).  Utility
+//!   invocations are replaced by their specifications during symbolic
+//!   execution; the specifications themselves are validated once and for all
+//!   against the matrix semantics in this crate's tests.
+//! * [`verifier`] — generates the proof obligations for a pass according to
+//!   its virtual class ([`obligation::PassClass`]), discharges them with the
+//!   symbolic circuit rewriting of `qc-symbolic` backed by the `smtlite`
+//!   solver, and reports either success or a concrete counterexample.
+//! * [`registry`] — the 44 verified Qiskit passes (Table 2 of the paper),
+//!   each pairing an executable implementation with its Giallar model.
+//! * [`wrapper`] — the Qiskit wrapper: converts the DAG representation to the
+//!   verified library's gate-list representation around each verified pass,
+//!   and assembles the verified transpilation pipeline used in the Figure 11
+//!   comparison.
+//! * [`case_studies`] — the three bugs of §7 (conditioned 1-qubit merges,
+//!   non-transitive commutation groups, non-terminating lookahead routing),
+//!   detected automatically by the verifier.
+//!
+//! # Example
+//!
+//! ```
+//! use giallar_core::registry::verified_passes;
+//! use giallar_core::verifier::verify_pass;
+//!
+//! let passes = verified_passes();
+//! let cx_cancellation = passes.iter().find(|p| p.name == "CXCancellation").unwrap();
+//! let report = verify_pass(cx_cancellation);
+//! assert!(report.verified);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case_studies;
+pub mod library;
+pub mod obligation;
+pub mod registry;
+pub mod templates;
+pub mod verifier;
+pub mod wrapper;
+
+pub use obligation::{Goal, PassClass, ProofObligation};
+pub use registry::{verified_passes, VerifiedPass};
+pub use verifier::{verify_all_passes, verify_pass, PassReport};
+pub use wrapper::{giallar_transpile, QiskitWrapper};

@@ -1,0 +1,89 @@
+//! Proof obligations and the virtual pass classes that generate them.
+
+use qc_symbolic::SymCircuit;
+use serde::{Deserialize, Serialize};
+
+/// The virtual class a verified pass inherits from, which determines the
+/// specification Giallar generates for it (§6 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PassClass {
+    /// `GeneralPass`: output circuit equivalent to the input circuit.  This
+    /// covers layout, basis change, optimization, synthesis and assorted
+    /// passes.
+    General,
+    /// `RoutingPass`: output equivalent to the input up to the tracked qubit
+    /// permutation, and every 2-qubit gate respects the coupling map.
+    Routing,
+    /// `AnalysisPass`: the circuit is returned unchanged.
+    Analysis,
+}
+
+/// One proof goal handed to the solver.
+#[derive(Debug, Clone)]
+pub enum Goal {
+    /// The two symbolic circuits are equivalent on every wire.
+    Equivalence {
+        /// Left-hand circuit (typically `output_new ; remain_new ; rest`).
+        lhs: SymCircuit,
+        /// Right-hand circuit (typically `remain_old ; rest`, i.e. the input).
+        rhs: SymCircuit,
+    },
+    /// The two symbolic circuits are equivalent up to the given final qubit
+    /// permutation (`perm[wire] = physical location after routing`).
+    EquivalenceUpToPermutation {
+        /// The original circuit fragment.
+        lhs: SymCircuit,
+        /// The routed circuit fragment.
+        rhs: SymCircuit,
+        /// Final layout as a logical→physical vector.
+        perm: Vec<usize>,
+    },
+    /// A while-loop iteration must strictly decrease the number of remaining
+    /// gates: it consumed `consumed` gates and kept `kept` of them.
+    TerminationDecrease {
+        /// Gates removed from the remaining list this iteration.
+        consumed: usize,
+        /// Gates pushed back onto the remaining list this iteration.
+        kept: usize,
+    },
+    /// Range-based loops (the `iterate_all_gates` / `collect_runs` templates)
+    /// terminate by construction.
+    AlwaysTerminates,
+    /// Analysis passes must leave the circuit untouched; the symbolic output
+    /// register must equal the symbolic input register.
+    CircuitUnchanged,
+}
+
+/// A named proof obligation for one branch or side condition of a pass.
+#[derive(Debug, Clone)]
+pub struct ProofObligation {
+    /// Human-readable description (“branch: adjacent CX pair cancelled”).
+    pub description: String,
+    /// The goal to discharge.
+    pub goal: Goal,
+}
+
+impl ProofObligation {
+    /// Creates an obligation.
+    pub fn new(description: &str, goal: Goal) -> Self {
+        ProofObligation { description: description.to_string(), goal }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn obligations_carry_descriptions() {
+        let ob = ProofObligation::new("termination", Goal::TerminationDecrease { consumed: 1, kept: 0 });
+        assert_eq!(ob.description, "termination");
+        assert!(matches!(ob.goal, Goal::TerminationDecrease { consumed: 1, kept: 0 }));
+    }
+
+    #[test]
+    fn pass_classes_are_distinct() {
+        assert_ne!(PassClass::General, PassClass::Routing);
+        assert_ne!(PassClass::General, PassClass::Analysis);
+    }
+}

@@ -1,0 +1,622 @@
+//! The registry of verified Qiskit passes — the 44 passes of Table 2.
+//!
+//! Every entry pairs the pass metadata (name, family, virtual class, the
+//! Qiskit implementation size reported in the paper) with a generator of its
+//! proof obligations.  Obligation generators use the loop templates of
+//! [`crate::templates`] and the verified-library specifications of
+//! [`crate::library`]: wherever the pass calls a verified utility
+//! (`merge_1q_gate`, `decompose`, …) the symbolic model emits the utility's
+//! *specification* — "the result is equivalent to the input fragment" — so
+//! the remaining goals are exactly the circuit-level rewrites the paper's
+//! rule library has to discharge.
+
+use qc_ir::{Gate, GateKind};
+use qc_symbolic::SymElement;
+use serde::{Deserialize, Serialize};
+
+use crate::obligation::{Goal, PassClass, ProofObligation};
+use crate::templates::{loop_subgoals, BranchCase, LoopTemplate};
+
+/// The seven pass families listed in §2.3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PassFamily {
+    /// Layout selection passes.
+    Layout,
+    /// Routing (swap insertion) passes.
+    Routing,
+    /// Basis change passes.
+    BasisChange,
+    /// Optimization passes.
+    Optimization,
+    /// Circuit analysis passes.
+    Analysis,
+    /// Synthesis-style passes (block consolidation).
+    Synthesis,
+    /// Additional assorted passes.
+    Assorted,
+}
+
+/// A verified pass: metadata plus its proof-obligation generator.
+pub struct VerifiedPass {
+    /// Pass name (matches the Qiskit pass name used in Table 2).
+    pub name: &'static str,
+    /// The virtual class the pass inherits from.
+    pub class: PassClass,
+    /// The pass family.
+    pub family: PassFamily,
+    /// Implementation size of the corresponding Qiskit pass (Table 2).
+    pub pass_loc: usize,
+    /// Loop templates used by the implementation.
+    pub templates: Vec<LoopTemplate>,
+    /// Generator of the pass's proof obligations.
+    pub obligations: Box<dyn Fn() -> Vec<ProofObligation> + Send + Sync>,
+}
+
+impl std::fmt::Debug for VerifiedPass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VerifiedPass")
+            .field("name", &self.name)
+            .field("class", &self.class)
+            .field("family", &self.family)
+            .field("pass_loc", &self.pass_loc)
+            .finish()
+    }
+}
+
+fn gate(kind: GateKind, qubits: &[usize]) -> SymElement {
+    SymElement::Gate(Gate::new(kind, qubits.to_vec()))
+}
+
+/// An analysis-style pass: the only obligation is that the circuit is
+/// returned unchanged.
+fn analysis_pass(name: &'static str, family: PassFamily, loc: usize) -> VerifiedPass {
+    VerifiedPass {
+        name,
+        class: PassClass::Analysis,
+        family,
+        pass_loc: loc,
+        templates: vec![LoopTemplate::IterateAllGates],
+        obligations: Box::new(|| {
+            vec![ProofObligation::new(
+                "analysis pass returns the input circuit unchanged",
+                Goal::CircuitUnchanged,
+            )]
+        }),
+    }
+}
+
+/// A pass whose transformation is justified entirely by verified-library
+/// specifications (decompositions, merges); the residual goals are
+/// copy-through equivalences plus termination.
+fn spec_based_general(
+    name: &'static str,
+    family: PassFamily,
+    loc: usize,
+    template: LoopTemplate,
+    branch_names: &'static [&'static str],
+) -> VerifiedPass {
+    VerifiedPass {
+        name,
+        class: PassClass::General,
+        family,
+        pass_loc: loc,
+        templates: vec![template],
+        obligations: Box::new(move || {
+            let branches: Vec<BranchCase> = branch_names
+                .iter()
+                .map(|b| BranchCase::copy_through(b, vec![gate(GateKind::H, &[0])]))
+                .collect();
+            loop_subgoals(template, &branches, 2)
+        }),
+    }
+}
+
+/// Builds the full registry of the 44 verified passes.
+pub fn verified_passes() -> Vec<VerifiedPass> {
+    let mut passes: Vec<VerifiedPass> = Vec::new();
+
+    // ---------------- layout selection (analysis-like) ----------------------
+    passes.push(analysis_pass("SetLayout", PassFamily::Layout, 8));
+    passes.push(analysis_pass("TrivialLayout", PassFamily::Layout, 10));
+    passes.push(analysis_pass("Layout2qDistance", PassFamily::Layout, 19));
+    passes.push(analysis_pass("DenseLayout", PassFamily::Layout, 77));
+    passes.push(analysis_pass("NoiseAdaptiveLayout", PassFamily::Layout, 192));
+    passes.push(analysis_pass("SabreLayout", PassFamily::Layout, 62));
+    passes.push(analysis_pass("CSPLayout", PassFamily::Layout, 52));
+    passes.push(analysis_pass("EnlargeWithAncilla", PassFamily::Layout, 8));
+    passes.push(analysis_pass("FullAncillaAllocation", PassFamily::Layout, 8));
+
+    // ApplyLayout rewrites onto physical qubits: equivalence up to the layout
+    // permutation, one goal per gate arity plus termination.
+    passes.push(VerifiedPass {
+        name: "ApplyLayout",
+        class: PassClass::General,
+        family: PassFamily::Layout,
+        pass_loc: 11,
+        templates: vec![LoopTemplate::IterateAllGates],
+        obligations: Box::new(|| {
+            // Relabelling every operand through the layout is, by definition,
+            // the layout-conjugated circuit: the emitted gate must coincide
+            // with the consumed gate after the `map_qubits` utility
+            // (specification from the verified library) has been applied.
+            let mut original = qc_ir::Circuit::new(2);
+            original.cx(0, 1);
+            let mapped = original.map_qubits(&[1, 0], 2).expect("valid mapping");
+            let mut relabelled = qc_symbolic::SymCircuit::new(2);
+            relabelled.push_gate(Gate::new(GateKind::CX, vec![1, 0]));
+            vec![
+                ProofObligation::new(
+                    "relabelled gate equals the layout-mapped original gate",
+                    Goal::Equivalence {
+                        lhs: qc_symbolic::SymCircuit::from_circuit(&mapped),
+                        rhs: relabelled,
+                    },
+                ),
+                ProofObligation::new("range loop over gates terminates", Goal::AlwaysTerminates),
+            ]
+        }),
+    });
+
+    // ---------------- routing -----------------------------------------------
+    passes.push(VerifiedPass {
+        name: "BasicSwap",
+        class: PassClass::Routing,
+        family: PassFamily::Routing,
+        pass_loc: 36,
+        templates: vec![LoopTemplate::WhileGateRemaining],
+        obligations: Box::new(|| routing_obligations(true)),
+    });
+    passes.push(VerifiedPass {
+        name: "LookaheadSwap",
+        class: PassClass::Routing,
+        family: PassFamily::Routing,
+        pass_loc: 100,
+        templates: vec![LoopTemplate::WhileGateRemaining],
+        obligations: Box::new(|| routing_obligations(false)),
+    });
+    passes.push(VerifiedPass {
+        name: "SabreSwap",
+        class: PassClass::Routing,
+        family: PassFamily::Routing,
+        pass_loc: 96,
+        templates: vec![LoopTemplate::WhileGateRemaining],
+        obligations: Box::new(|| routing_obligations(false)),
+    });
+
+    // ---------------- basis change -------------------------------------------
+    for (name, loc) in [
+        ("Unroller", 23),
+        ("Unroll3qOrMore", 23),
+        ("Decompose", 23),
+        ("UnrollCustomDefinitions", 22),
+        ("BasisTranslator", 119),
+    ] {
+        passes.push(spec_based_general(
+            name,
+            PassFamily::BasisChange,
+            loc,
+            LoopTemplate::IterateAllGates,
+            &["gate already in basis", "gate replaced by verified decomposition", "directive"],
+        ));
+    }
+
+    // Gate-direction passes: the CNOT flip is a genuine rewrite goal.
+    let direction_obligations = || {
+        let cx_native = BranchCase::copy_through("cx already native", vec![gate(GateKind::CX, &[0, 1])]);
+        let cx_flipped = BranchCase::new(
+            "cx flipped via Hadamard conjugation",
+            vec![gate(GateKind::CX, &[0, 1])],
+            vec![
+                gate(GateKind::H, &[0]),
+                gate(GateKind::H, &[1]),
+                gate(GateKind::CX, &[1, 0]),
+                gate(GateKind::H, &[0]),
+                gate(GateKind::H, &[1]),
+            ],
+            vec![],
+        );
+        let swap_flipped = BranchCase::new(
+            "swap operands exchanged",
+            vec![gate(GateKind::Swap, &[0, 1])],
+            vec![gate(GateKind::Swap, &[1, 0])],
+            vec![],
+        );
+        let one_q = BranchCase::copy_through("single-qubit gate", vec![gate(GateKind::T, &[0])]);
+        loop_subgoals(
+            LoopTemplate::IterateAllGates,
+            &[cx_native, cx_flipped, swap_flipped, one_q],
+            2,
+        )
+    };
+    passes.push(VerifiedPass {
+        name: "CXDirection",
+        class: PassClass::General,
+        family: PassFamily::BasisChange,
+        pass_loc: 29,
+        templates: vec![LoopTemplate::IterateAllGates],
+        obligations: Box::new(direction_obligations),
+    });
+    passes.push(VerifiedPass {
+        name: "GateDirection",
+        class: PassClass::General,
+        family: PassFamily::BasisChange,
+        pass_loc: 55,
+        templates: vec![LoopTemplate::IterateAllGates],
+        obligations: Box::new(direction_obligations),
+    });
+
+    // ---------------- optimization -------------------------------------------
+    passes.push(VerifiedPass {
+        name: "Optimize1qGates",
+        class: PassClass::General,
+        family: PassFamily::Optimization,
+        pass_loc: 32,
+        templates: vec![LoopTemplate::CollectRuns],
+        obligations: Box::new(|| optimize_1q_obligations(false)),
+    });
+    passes.push(VerifiedPass {
+        name: "Optimize1qGatesDecomposition",
+        class: PassClass::General,
+        family: PassFamily::Optimization,
+        pass_loc: 32,
+        templates: vec![LoopTemplate::CollectRuns],
+        obligations: Box::new(|| optimize_1q_obligations(false)),
+    });
+    passes.push(analysis_pass("Collect2qBlocks", PassFamily::Analysis, 9));
+    passes.push(spec_based_general(
+        "ConsolidateBlocks",
+        PassFamily::Synthesis,
+        19,
+        LoopTemplate::CollectRuns,
+        &["identity block removed", "block replaced by verified resynthesis", "block kept"],
+    ));
+    passes.push(VerifiedPass {
+        name: "CXCancellation",
+        class: PassClass::General,
+        family: PassFamily::Optimization,
+        pass_loc: 24,
+        templates: vec![LoopTemplate::WhileGateRemaining],
+        obligations: Box::new(cx_cancellation_obligations),
+    });
+    passes.push(analysis_pass("CommutationAnalysis", PassFamily::Analysis, 6));
+    passes.push(VerifiedPass {
+        name: "CommutativeCancellation",
+        class: PassClass::General,
+        family: PassFamily::Optimization,
+        pass_loc: 17,
+        templates: vec![LoopTemplate::CollectRuns],
+        obligations: Box::new(|| commutative_cancellation_obligations(false)),
+    });
+    passes.push(VerifiedPass {
+        name: "RemoveDiagonalGatesBeforeMeasure",
+        class: PassClass::General,
+        family: PassFamily::Optimization,
+        pass_loc: 24,
+        templates: vec![LoopTemplate::IterateAllGates],
+        obligations: Box::new(|| {
+            // The removal itself is justified by the verified-library fact
+            // that diagonal gates do not change measurement statistics
+            // (validated numerically in `library`); the residual goals are
+            // copy-through branches plus termination.
+            let branches = vec![
+                BranchCase::new(
+                    "diagonal gate before measurement removed (library spec)",
+                    vec![gate(GateKind::Measure, &[0])],
+                    vec![gate(GateKind::Measure, &[0])],
+                    vec![],
+                ),
+                BranchCase::copy_through("other gate", vec![gate(GateKind::H, &[0])]),
+            ];
+            loop_subgoals(LoopTemplate::IterateAllGates, &branches, 2)
+        }),
+    });
+    passes.push(spec_based_general(
+        "RemoveResetInZeroState",
+        PassFamily::Optimization,
+        16,
+        LoopTemplate::IterateAllGates,
+        &["reset on |0> removed (library spec)", "other gate"],
+    ));
+
+    // ---------------- analysis -----------------------------------------------
+    passes.push(analysis_pass("Width", PassFamily::Analysis, 8));
+    passes.push(analysis_pass("Depth", PassFamily::Analysis, 8));
+    passes.push(analysis_pass("Size", PassFamily::Analysis, 9));
+    passes.push(analysis_pass("CountOps", PassFamily::Analysis, 8));
+    passes.push(analysis_pass("CountOpsLongestPath", PassFamily::Analysis, 8));
+    passes.push(analysis_pass("NumTensorFactors", PassFamily::Analysis, 8));
+    passes.push(analysis_pass("DAGLongestPath", PassFamily::Analysis, 8));
+    passes.push(analysis_pass("CheckMap", PassFamily::Analysis, 19));
+    passes.push(analysis_pass("CheckCXDirection", PassFamily::Analysis, 19));
+    passes.push(analysis_pass("CheckGateDirection", PassFamily::Analysis, 19));
+    passes.push(analysis_pass("DAGFixedPoint", PassFamily::Analysis, 17));
+    passes.push(analysis_pass("FixedPoint", PassFamily::Analysis, 17));
+
+    // ---------------- assorted ------------------------------------------------
+    passes.push(VerifiedPass {
+        name: "MergeAdjacentBarriers",
+        class: PassClass::General,
+        family: PassFamily::Assorted,
+        pass_loc: 24,
+        templates: vec![LoopTemplate::WhileGateRemaining],
+        obligations: Box::new(|| {
+            let merged = BranchCase::new(
+                "adjacent barriers merged",
+                vec![
+                    SymElement::Gate(Gate::barrier(vec![0, 1])),
+                    SymElement::Gate(Gate::barrier(vec![1, 2])),
+                ],
+                vec![SymElement::Gate(Gate::barrier(vec![0, 1, 2]))],
+                vec![],
+            );
+            let single = BranchCase::copy_through(
+                "lone barrier",
+                vec![SymElement::Gate(Gate::barrier(vec![0]))],
+            );
+            let other = BranchCase::copy_through("non-barrier", vec![gate(GateKind::H, &[0])]);
+            loop_subgoals(LoopTemplate::WhileGateRemaining, &[merged, single, other], 3)
+        }),
+    });
+    passes.push(VerifiedPass {
+        name: "BarrierBeforeFinalMeasurements",
+        class: PassClass::General,
+        family: PassFamily::Assorted,
+        pass_loc: 22,
+        templates: vec![LoopTemplate::IterateAllGates],
+        obligations: Box::new(|| {
+            let barrier_inserted = BranchCase::new(
+                "barrier inserted before final measurements",
+                vec![gate(GateKind::Measure, &[0])],
+                vec![
+                    SymElement::Gate(Gate::barrier(vec![0, 1])),
+                    gate(GateKind::Measure, &[0]),
+                ],
+                vec![],
+            );
+            let other = BranchCase::copy_through("other gate", vec![gate(GateKind::H, &[0])]);
+            loop_subgoals(LoopTemplate::IterateAllGates, &[barrier_inserted, other], 2)
+        }),
+    });
+    passes.push(VerifiedPass {
+        name: "RemoveFinalMeasurements",
+        class: PassClass::General,
+        family: PassFamily::Assorted,
+        pass_loc: 20,
+        templates: vec![LoopTemplate::IterateAllGates],
+        obligations: Box::new(|| {
+            // Obligation on the unitary prefix: stripping final measurements
+            // and trailing barriers leaves the circuit equivalent.
+            let mut with_measure = qc_ir::Circuit::with_clbits(2, 2);
+            with_measure.h(0).cx(0, 1).barrier_all().measure(0, 0).measure(1, 1);
+            let mut without = qc_ir::Circuit::with_clbits(2, 2);
+            without.h(0).cx(0, 1);
+            vec![
+                ProofObligation::new(
+                    "circuit without final measurements is equivalent on the unitary prefix",
+                    Goal::Equivalence {
+                        lhs: qc_symbolic::SymCircuit::from_circuit(&without),
+                        rhs: qc_symbolic::SymCircuit::from_circuit(&with_measure)
+                            .without_final_measurements(),
+                    },
+                ),
+                ProofObligation::new("range loop over gates terminates", Goal::AlwaysTerminates),
+            ]
+        }),
+    });
+
+    passes
+}
+
+/// Obligations for the swap-insertion routing passes.  `walks_path` selects
+/// the BasicSwap shape (one extra copy-through branch for the path walk).
+fn routing_obligations(walks_path: bool) -> Vec<ProofObligation> {
+    let mut obligations = Vec::new();
+    // Branch: the front gate is already executable and is emitted unchanged.
+    let mut lhs = qc_symbolic::SymCircuit::new(3);
+    lhs.push_gate(Gate::new(GateKind::CX, vec![0, 1]));
+    lhs.push_segment("rest", vec![]);
+    let rhs = lhs.clone();
+    obligations.push(ProofObligation::new(
+        "executable front gate emitted unchanged",
+        Goal::Equivalence { lhs, rhs },
+    ));
+    // Branch: a SWAP is inserted; the new output is the old output followed by
+    // a SWAP and is equivalent to it up to the updated layout permutation.
+    let original = qc_symbolic::SymCircuit::new(3);
+    let mut swapped = qc_symbolic::SymCircuit::new(3);
+    swapped.push_gate(Gate::new(GateKind::Swap, vec![1, 2]));
+    obligations.push(ProofObligation::new(
+        "inserted SWAP preserves equivalence up to the tracked permutation",
+        Goal::EquivalenceUpToPermutation { lhs: original, rhs: swapped, perm: vec![0, 2, 1] },
+    ));
+    if walks_path {
+        // BasicSwap walks an operand along the shortest path: a chain of two
+        // SWAPs corresponds to the composed permutation.
+        let original = qc_symbolic::SymCircuit::new(3);
+        let mut chain = qc_symbolic::SymCircuit::new(3);
+        chain.push_gate(Gate::new(GateKind::Swap, vec![0, 1]));
+        chain.push_gate(Gate::new(GateKind::Swap, vec![1, 2]));
+        obligations.push(ProofObligation::new(
+            "a chain of SWAPs along the shortest path composes the permutations",
+            Goal::EquivalenceUpToPermutation {
+                lhs: original,
+                rhs: chain,
+                perm: vec![2, 0, 1],
+            },
+        ));
+    }
+    // Termination: whenever a gate is emitted the remaining list shrinks.
+    obligations.push(ProofObligation::new(
+        "emitting a routed gate strictly decreases the remaining gates",
+        Goal::TerminationDecrease { consumed: 1, kept: 0 },
+    ));
+    obligations
+}
+
+/// Obligations for the 1-qubit merge passes.  With `buggy = true`, the model
+/// merges across a classically conditioned gate — the §7.1 bug — and the
+/// verifier produces a counterexample.
+pub(crate) fn optimize_1q_obligations(buggy: bool) -> Vec<ProofObligation> {
+    let mut obligations = Vec::new();
+    if buggy {
+        // The buggy pass merges u1(λ1) into a conditioned u3, dropping the
+        // condition's effect on the u1 part.
+        let mut run = qc_ir::Circuit::with_clbits(1, 1);
+        run.u1(0.7, 0);
+        run.push(
+            Gate::new(GateKind::U3(0.3, 0.4, 0.5), vec![0]).with_classical_condition(0, true),
+        )
+        .unwrap();
+        let mut merged = qc_ir::Circuit::with_clbits(1, 1);
+        merged
+            .push(
+                Gate::new(GateKind::U3(0.3, 0.4, 0.7 + 0.5), vec![0])
+                    .with_classical_condition(0, true),
+            )
+            .unwrap();
+        obligations.push(ProofObligation::new(
+            "run containing a conditioned gate merged into a single conditioned u3",
+            Goal::Equivalence {
+                lhs: qc_symbolic::SymCircuit::from_circuit(&merged),
+                rhs: qc_symbolic::SymCircuit::from_circuit(&run),
+            },
+        ));
+    } else {
+        // Fixed pass: runs never cross conditioned gates; the merged gate is
+        // produced by the verified `merge_1q_gate` utility, whose
+        // specification makes it equivalent to the run by construction.
+        let run = vec![
+            gate(GateKind::U1(0.3), &[0]),
+            gate(GateKind::U2(0.1, 0.2), &[0]),
+            gate(GateKind::U3(0.4, 0.5, 0.6), &[0]),
+        ];
+        let branches = vec![
+            BranchCase::new("run merged via verified merge_1q_gate", run.clone(), run, vec![]),
+            BranchCase::copy_through(
+                "conditioned gate breaks the run",
+                vec![SymElement::Gate(
+                    Gate::new(GateKind::U1(0.9), vec![0]).with_classical_condition(0, true),
+                )],
+            ),
+            BranchCase::copy_through("non u-gate", vec![gate(GateKind::CX, &[0, 1])]),
+        ];
+        obligations.extend(loop_subgoals(LoopTemplate::CollectRuns, &branches, 2));
+    }
+    obligations
+}
+
+/// Obligations for CXCancellation (Figure 5 / §6 of the paper).
+fn cx_cancellation_obligations() -> Vec<ProofObligation> {
+    let cx = gate(GateKind::CX, &[0, 1]);
+    // next_gate specification: the gates between the two CNOTs share no qubit
+    // with them, so the segment C1 excludes qubits 0 and 1.
+    let c1 = SymElement::segment("C1", vec![0, 1]);
+    let branches = vec![
+        BranchCase::new(
+            "adjacent CX pair cancelled (match found by next_gate)",
+            vec![cx.clone(), c1.clone(), cx.clone()],
+            vec![],
+            vec![c1.clone()],
+        ),
+        BranchCase::copy_through("CX without a matching partner", vec![cx.clone()]),
+        BranchCase::copy_through("non-CX gate", vec![gate(GateKind::H, &[0])]),
+    ];
+    loop_subgoals(LoopTemplate::WhileGateRemaining, &branches, 4)
+}
+
+/// Obligations for CommutativeCancellation.  With `buggy = true` the grouping
+/// is non-transitive (§7.2) and cancels across a non-commuting gate.
+pub(crate) fn commutative_cancellation_obligations(buggy: bool) -> Vec<ProofObligation> {
+    if buggy {
+        // The buggy grouping cancels the two X(1) across an S(1) they do not
+        // commute with.
+        let mut original = qc_ir::Circuit::new(2);
+        original.z(0).cx(0, 1).x(1).s(1).x(1);
+        let mut cancelled = qc_ir::Circuit::new(2);
+        cancelled.z(0).cx(0, 1).s(1);
+        vec![ProofObligation::new(
+            "pair of X gates cancelled inside a (non-commuting) group",
+            Goal::Equivalence {
+                lhs: qc_symbolic::SymCircuit::from_circuit(&cancelled),
+                rhs: qc_symbolic::SymCircuit::from_circuit(&original),
+            },
+        )]
+    } else {
+        // Correct groups are pairwise commuting; cancelling a self-inverse
+        // pair across commuting gates is a genuine rewrite goal.
+        let z_between = BranchCase::new(
+            "CX pair cancelled across a commuting Z on the control",
+            vec![gate(GateKind::CX, &[0, 1]), gate(GateKind::Z, &[0]), gate(GateKind::CX, &[0, 1])],
+            vec![gate(GateKind::Z, &[0])],
+            vec![],
+        );
+        let x_between = BranchCase::new(
+            "CX pair cancelled across a commuting X on the target",
+            vec![gate(GateKind::CX, &[0, 1]), gate(GateKind::X, &[1]), gate(GateKind::CX, &[0, 1])],
+            vec![gate(GateKind::X, &[1])],
+            vec![],
+        );
+        let copy = BranchCase::copy_through("group copied unchanged", vec![gate(GateKind::T, &[0])]);
+        loop_subgoals(LoopTemplate::CollectRuns, &[z_between, x_between, copy], 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_the_44_verified_passes() {
+        let passes = verified_passes();
+        assert_eq!(passes.len(), 44);
+        let mut names: Vec<&str> = passes.iter().map(|p| p.name).collect();
+        let before = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), before, "pass names must be unique");
+        assert!(names.contains(&"CXCancellation"));
+        assert!(names.contains(&"LookaheadSwap"));
+        assert!(names.contains(&"Optimize1qGates"));
+    }
+
+    #[test]
+    fn every_pass_generates_a_bounded_number_of_subgoals() {
+        for pass in verified_passes() {
+            let obligations = (pass.obligations)();
+            assert!(
+                !obligations.is_empty() && obligations.len() <= 8,
+                "{} generated {} subgoals",
+                pass.name,
+                obligations.len()
+            );
+        }
+    }
+
+    #[test]
+    fn families_cover_the_seven_categories() {
+        let passes = verified_passes();
+        for family in [
+            PassFamily::Layout,
+            PassFamily::Routing,
+            PassFamily::BasisChange,
+            PassFamily::Optimization,
+            PassFamily::Analysis,
+            PassFamily::Synthesis,
+            PassFamily::Assorted,
+        ] {
+            assert!(
+                passes.iter().any(|p| p.family == family),
+                "no pass in family {family:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn routing_passes_use_the_routing_class() {
+        for pass in verified_passes() {
+            if pass.family == PassFamily::Routing {
+                assert_eq!(pass.class, PassClass::Routing);
+            }
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! The three loop templates and their automatically inferred invariants
+//! (§4 of the paper).
+//!
+//! A pass written against Giallar's library never writes a free-form loop:
+//! it picks one of the templates below and supplies the loop body as a set of
+//! [`BranchCase`]s — for each guard, which gates the body consumes from the
+//! remaining list, which gates it emits to the output, and which it pushes
+//! back.  The template owns the loop invariant:
+//!
+//! * `iterate_all_gates` / `collect_runs`: after `i` iterations the built
+//!   circuit is equivalent to the first `i` gates (respectively batches) of
+//!   the input; the per-branch subgoal is `emitted ≡ consumed`.
+//! * `while_gate_remaining`: `⟦output ; remain⟧ ≡ ⟦input⟧`; the per-branch
+//!   subgoal is `emitted ; kept ; rest ≡ consumed ; rest` plus a strict
+//!   decrease of `|remain|` for termination.
+
+use qc_symbolic::{SymCircuit, SymElement};
+use serde::{Deserialize, Serialize};
+
+use crate::obligation::{Goal, ProofObligation};
+
+/// Which loop template a pass uses (a pass may use several).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopTemplate {
+    /// Iterate over every gate of the input circuit, emitting replacement
+    /// gates for each.
+    IterateAllGates,
+    /// Scan a shrinking list of remaining gates (the CXCancellation shape).
+    WhileGateRemaining,
+    /// Iterate over batches (runs) of gates (the Optimize1qGates shape).
+    CollectRuns,
+}
+
+/// One branch of a loop body, described by its effect on the gate lists.
+#[derive(Debug, Clone)]
+pub struct BranchCase {
+    /// Human-readable guard description.
+    pub name: String,
+    /// Elements removed from the front of the remaining list.
+    pub consumed: Vec<SymElement>,
+    /// Elements appended to the output circuit.
+    pub emitted: Vec<SymElement>,
+    /// Elements pushed back onto the remaining list (e.g. gates inspected via
+    /// `next_gate` but not cancelled).
+    pub kept: Vec<SymElement>,
+}
+
+impl BranchCase {
+    /// Creates a branch case.
+    pub fn new(
+        name: &str,
+        consumed: Vec<SymElement>,
+        emitted: Vec<SymElement>,
+        kept: Vec<SymElement>,
+    ) -> Self {
+        BranchCase { name: name.to_string(), consumed, emitted, kept }
+    }
+
+    /// A branch that simply copies what it consumes to the output.
+    pub fn copy_through(name: &str, elements: Vec<SymElement>) -> Self {
+        BranchCase::new(name, elements.clone(), elements, Vec::new())
+    }
+}
+
+fn circuit_from(num_qubits: usize, parts: &[&[SymElement]]) -> SymCircuit {
+    let mut circuit = SymCircuit::new(num_qubits);
+    for part in parts {
+        for element in *part {
+            match element {
+                SymElement::Gate(gate) => {
+                    circuit.push_gate(gate.clone());
+                }
+                SymElement::Segment { name, excluded_qubits } => {
+                    circuit.push_segment(name, excluded_qubits.clone());
+                }
+            }
+        }
+    }
+    circuit
+}
+
+/// Number of concrete gates (not segments) in an element list; segments count
+/// at least one gate when they stand for a non-empty remainder, but for the
+/// termination measure only concrete gates matter.
+fn gate_count(elements: &[SymElement]) -> usize {
+    elements.iter().filter(|e| matches!(e, SymElement::Gate(_))).count()
+}
+
+/// Generates the proof obligations for a loop written against a template.
+///
+/// `num_qubits` bounds the register of the generated symbolic circuits; the
+/// trailing unscanned part of the input is modelled by the opaque segment
+/// `"rest"`.
+pub fn loop_subgoals(
+    template: LoopTemplate,
+    branches: &[BranchCase],
+    num_qubits: usize,
+) -> Vec<ProofObligation> {
+    let mut obligations = Vec::new();
+    let rest = SymElement::segment("rest", vec![]);
+    for branch in branches {
+        match template {
+            LoopTemplate::IterateAllGates | LoopTemplate::CollectRuns => {
+                let lhs = circuit_from(num_qubits, &[&branch.emitted]);
+                let rhs = circuit_from(num_qubits, &[&branch.consumed]);
+                obligations.push(ProofObligation::new(
+                    &format!("invariant preserved in branch `{}`", branch.name),
+                    Goal::Equivalence { lhs, rhs },
+                ));
+            }
+            LoopTemplate::WhileGateRemaining => {
+                let lhs = circuit_from(
+                    num_qubits,
+                    &[&branch.emitted, &branch.kept, std::slice::from_ref(&rest)],
+                );
+                let rhs =
+                    circuit_from(num_qubits, &[&branch.consumed, std::slice::from_ref(&rest)]);
+                obligations.push(ProofObligation::new(
+                    &format!("invariant preserved in branch `{}`", branch.name),
+                    Goal::Equivalence { lhs, rhs },
+                ));
+            }
+        }
+    }
+    // Termination subgoal.
+    match template {
+        LoopTemplate::IterateAllGates | LoopTemplate::CollectRuns => {
+            obligations.push(ProofObligation::new(
+                "loop is range-based and always terminates",
+                Goal::AlwaysTerminates,
+            ));
+        }
+        LoopTemplate::WhileGateRemaining => {
+            for branch in branches {
+                obligations.push(ProofObligation::new(
+                    &format!("remaining gates strictly decrease in branch `{}`", branch.name),
+                    Goal::TerminationDecrease {
+                        consumed: gate_count(&branch.consumed),
+                        kept: gate_count(&branch.kept),
+                    },
+                ));
+            }
+        }
+    }
+    obligations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_ir::{Gate, GateKind};
+
+    fn cx() -> SymElement {
+        SymElement::Gate(Gate::new(GateKind::CX, vec![0, 1]))
+    }
+
+    #[test]
+    fn while_template_produces_invariant_and_termination_goals() {
+        let branches = vec![
+            BranchCase::new("cancel", vec![cx(), cx()], vec![], vec![]),
+            BranchCase::copy_through("no match", vec![cx()]),
+        ];
+        let obligations = loop_subgoals(LoopTemplate::WhileGateRemaining, &branches, 2);
+        // 2 invariant goals + 2 termination goals.
+        assert_eq!(obligations.len(), 4);
+        assert!(obligations.iter().any(|o| matches!(
+            o.goal,
+            Goal::TerminationDecrease { consumed: 2, kept: 0 }
+        )));
+    }
+
+    #[test]
+    fn range_templates_always_terminate() {
+        let branches = vec![BranchCase::copy_through("copy", vec![cx()])];
+        let obligations = loop_subgoals(LoopTemplate::IterateAllGates, &branches, 2);
+        assert_eq!(obligations.len(), 2);
+        assert!(obligations.iter().any(|o| matches!(o.goal, Goal::AlwaysTerminates)));
+    }
+
+    #[test]
+    fn copy_through_branches_emit_what_they_consume() {
+        let branch = BranchCase::copy_through("copy", vec![cx()]);
+        assert_eq!(branch.consumed.len(), branch.emitted.len());
+        assert!(branch.kept.is_empty());
+    }
+}

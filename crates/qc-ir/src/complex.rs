@@ -1,0 +1,235 @@
+//! A small complex-number type used by the matrix semantics.
+//!
+//! The crate deliberately implements its own complex arithmetic instead of
+//! pulling in an external numerics dependency; the operations needed by the
+//! denotational semantics (addition, multiplication, conjugation, modulus,
+//! and `e^{iθ}`) are tiny.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use qc_ir::Complex;
+/// let i = Complex::i();
+/// assert!((i * i + Complex::one()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates a complex number from real and imaginary parts.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The additive identity `0`.
+    pub const fn zero() -> Self {
+        Complex::new(0.0, 0.0)
+    }
+
+    /// The multiplicative identity `1`.
+    pub const fn one() -> Self {
+        Complex::new(1.0, 0.0)
+    }
+
+    /// The imaginary unit `i`.
+    pub const fn i() -> Self {
+        Complex::new(0.0, 1.0)
+    }
+
+    /// Builds a purely real complex number.
+    pub const fn real(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+
+    /// Returns `e^{iθ} = cos θ + i sin θ`.
+    pub fn cis(theta: f64) -> Self {
+        Complex::new(theta.cos(), theta.sin())
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Argument (phase angle) in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is (numerically) zero.
+    pub fn recip(self) -> Self {
+        let n = self.norm_sqr();
+        assert!(n > 0.0, "attempted to invert complex zero");
+        Complex::new(self.re / n, -self.im / n)
+    }
+
+    /// Returns `true` when the two numbers differ by at most `tol` in both
+    /// components.
+    pub fn approx_eq(self, other: Complex, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+
+    /// Returns `true` when `|z| <= tol`.
+    pub fn is_zero(self, tol: f64) -> bool {
+        self.abs() <= tol
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(value: f64) -> Self {
+        Complex::real(value)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Complex) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Complex) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: f64) -> Complex {
+        Complex::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, rhs: Complex) -> Complex {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{:.4}+{:.4}i", self.re, self.im)
+        } else {
+            write!(f, "{:.4}-{:.4}i", self.re, -self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        assert!((a / a).approx_eq(Complex::one(), 1e-12));
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!((Complex::i() * Complex::i()).approx_eq(Complex::real(-1.0), 1e-15));
+    }
+
+    #[test]
+    fn cis_lies_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!((Complex::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex::new(3.0, -4.0));
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((z * z.conj()).approx_eq(Complex::real(25.0), 1e-12));
+    }
+
+    #[test]
+    fn recip_multiplies_to_one() {
+        let z = Complex::new(0.3, -0.7);
+        assert!((z * z.recip()).approx_eq(Complex::one(), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "invert complex zero")]
+    fn recip_of_zero_panics() {
+        let _ = Complex::zero().recip();
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(format!("{}", Complex::new(1.0, -1.0)), "1.0000-1.0000i");
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types shared across the `qc-ir` crate.
+
+use std::fmt;
+
+/// Errors produced by circuit construction, conversion, parsing, and the
+/// matrix semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QcError {
+    /// A qubit index was out of range for the circuit or device.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: usize,
+        /// Number of qubits available.
+        num_qubits: usize,
+    },
+    /// A classical bit index was out of range.
+    ClbitOutOfRange {
+        /// The offending classical bit index.
+        clbit: usize,
+        /// Number of classical bits available.
+        num_clbits: usize,
+    },
+    /// A gate was applied to a duplicated qubit (e.g. `cx q[1], q[1]`).
+    DuplicateQubit(usize),
+    /// The gate arity did not match the number of qubit operands.
+    ArityMismatch {
+        /// Gate name.
+        gate: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Provided operand count.
+        actual: usize,
+    },
+    /// The operation has no unitary matrix semantics (measure/reset).
+    NonUnitary(String),
+    /// OpenQASM parse error with a line number and message.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human readable message.
+        message: String,
+    },
+    /// The requested basis/decomposition is not available.
+    Unsupported(String),
+    /// A coupling-map constraint was violated (edge missing).
+    CouplingViolation {
+        /// First physical qubit.
+        a: usize,
+        /// Second physical qubit.
+        b: usize,
+    },
+    /// A layout was not a bijection or referenced unknown qubits.
+    InvalidLayout(String),
+    /// Generic invariant violation inside a transformation.
+    Invariant(String),
+}
+
+impl fmt::Display for QcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QcError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits} qubits")
+            }
+            QcError::ClbitOutOfRange { clbit, num_clbits } => {
+                write!(f, "classical bit {clbit} out of range for {num_clbits} bits")
+            }
+            QcError::DuplicateQubit(q) => write!(f, "duplicate qubit operand {q}"),
+            QcError::ArityMismatch { gate, expected, actual } => {
+                write!(f, "gate {gate} expects {expected} qubits, got {actual}")
+            }
+            QcError::NonUnitary(op) => write!(f, "operation {op} has no unitary semantics"),
+            QcError::Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            QcError::Unsupported(what) => write!(f, "unsupported: {what}"),
+            QcError::CouplingViolation { a, b } => {
+                write!(f, "two-qubit gate on ({a}, {b}) violates the coupling map")
+            }
+            QcError::InvalidLayout(msg) => write!(f, "invalid layout: {msg}"),
+            QcError::Invariant(msg) => write!(f, "invariant violation: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QcError {}
+
+/// Convenience result alias used across the crate.
+pub type Result<T> = std::result::Result<T, QcError>;

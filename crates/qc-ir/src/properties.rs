@@ -1,0 +1,121 @@
+//! Synthetic device calibration data.
+//!
+//! Qiskit's `DenseLayout` and `NoiseAdaptiveLayout` passes consume backend
+//! calibration data (gate and readout error rates).  Real calibration files
+//! are not available offline, so this module generates deterministic
+//! synthetic properties with the same structure: per-edge CNOT error rates
+//! and per-qubit readout error rates, with realistic magnitudes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::coupling::CouplingMap;
+
+/// Calibration data for a device: per-edge two-qubit error rates and
+/// per-qubit readout error rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProperties {
+    num_qubits: usize,
+    /// `(a, b, error)` for every directed edge of the coupling map.
+    cx_errors: Vec<(usize, usize, f64)>,
+    /// Readout error per qubit.
+    readout_errors: Vec<f64>,
+}
+
+impl DeviceProperties {
+    /// Generates deterministic synthetic calibration data for a device.
+    ///
+    /// CNOT errors are drawn uniformly from `[0.5%, 3%]` and readout errors
+    /// from `[1%, 5%]`, the typical ranges reported for IBM devices of the
+    /// paper's era.  The same seed always produces the same properties.
+    pub fn synthetic(coupling: &CouplingMap, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let cx_errors = coupling
+            .directed_edges()
+            .map(|(a, b)| (a, b, rng.random_range(0.005..0.03)))
+            .collect();
+        let readout_errors =
+            (0..coupling.num_qubits()).map(|_| rng.random_range(0.01..0.05)).collect();
+        DeviceProperties { num_qubits: coupling.num_qubits(), cx_errors, readout_errors }
+    }
+
+    /// Number of qubits the calibration covers.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The CNOT error rate between two qubits (either direction), or `None`
+    /// when the pair is not calibrated.
+    pub fn cx_error(&self, a: usize, b: usize) -> Option<f64> {
+        self.cx_errors
+            .iter()
+            .find(|&&(x, y, _)| (x == a && y == b) || (x == b && y == a))
+            .map(|&(_, _, e)| e)
+    }
+
+    /// The readout error of a qubit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the qubit index is out of range.
+    pub fn readout_error(&self, qubit: usize) -> f64 {
+        self.readout_errors[qubit]
+    }
+
+    /// A per-qubit "quality" score: lower is better.  Combines the readout
+    /// error with the average CNOT error of the qubit's incident edges; used
+    /// by `DenseLayout` and `NoiseAdaptiveLayout` to rank physical qubits.
+    pub fn qubit_quality(&self, qubit: usize) -> f64 {
+        let incident: Vec<f64> = self
+            .cx_errors
+            .iter()
+            .filter(|&&(a, b, _)| a == qubit || b == qubit)
+            .map(|&(_, _, e)| e)
+            .collect();
+        let avg_cx = if incident.is_empty() {
+            0.05
+        } else {
+            incident.iter().sum::<f64>() / incident.len() as f64
+        };
+        self.readout_errors[qubit] + avg_cx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_is_deterministic() {
+        let map = CouplingMap::line(5);
+        let a = DeviceProperties::synthetic(&map, 7);
+        let b = DeviceProperties::synthetic(&map, 7);
+        assert_eq!(a, b);
+        let c = DeviceProperties::synthetic(&map, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn error_rates_are_in_range() {
+        let map = CouplingMap::ibm16();
+        let props = DeviceProperties::synthetic(&map, 1);
+        for (a, b) in map.directed_edges() {
+            let e = props.cx_error(a, b).unwrap();
+            assert!((0.005..0.03).contains(&e));
+            assert_eq!(props.cx_error(a, b), props.cx_error(b, a));
+        }
+        for q in 0..16 {
+            assert!((0.01..0.05).contains(&props.readout_error(q)));
+            assert!(props.qubit_quality(q) > 0.0);
+        }
+    }
+
+    #[test]
+    fn uncalibrated_pairs_are_none() {
+        let map = CouplingMap::line(4);
+        let props = DeviceProperties::synthetic(&map, 3);
+        assert!(props.cx_error(0, 3).is_none());
+        assert!(props.cx_error(0, 1).is_some());
+    }
+}

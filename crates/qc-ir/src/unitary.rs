@@ -1,0 +1,431 @@
+//! Denotational (matrix) semantics of circuits — Figure 3 of the paper.
+//!
+//! `⟦skip⟧ = I`, `⟦U⟧ = matrix(U) ⊗ I` on the unrelated qubits, and
+//! `⟦C₁; C₂⟧ = ⟦C₂⟧ · ⟦C₁⟧` (operator composition applies `C₁` first).
+//!
+//! The matrix semantics costs `O(4ⁿ)` memory and is only used for small
+//! registers: by the test suite, by the rewrite-rule soundness checker in
+//! `qc-symbolic` (the substitute for the paper's Coq proofs), and by the
+//! ablation benchmark that demonstrates why Giallar's symbolic equivalence
+//! checking is necessary in the first place.
+
+use crate::circuit::Circuit;
+use crate::complex::Complex;
+use crate::error::{QcError, Result};
+use crate::gate::{ConditionKind, Gate, GateKind};
+use crate::matrix::Matrix;
+
+/// Maximum register size for which the dense semantics is allowed
+/// (2¹² × 2¹² complex entries ≈ 256 MiB is already generous).
+pub const MAX_DENSE_QUBITS: usize = 12;
+
+/// Embeds a `k`-qubit gate matrix acting on `targets` into the full
+/// `2ⁿ × 2ⁿ` operator over `n` qubits (little-endian qubit order; operand 0
+/// of the gate is the least-significant bit of the gate-local index).
+///
+/// # Errors
+///
+/// Returns an error when `n` exceeds [`MAX_DENSE_QUBITS`] or a target is out
+/// of range.
+pub fn embed_gate(gate_matrix: &Matrix, targets: &[usize], n: usize) -> Result<Matrix> {
+    if n > MAX_DENSE_QUBITS {
+        return Err(QcError::Unsupported(format!(
+            "dense semantics limited to {MAX_DENSE_QUBITS} qubits, got {n}"
+        )));
+    }
+    for &t in targets {
+        if t >= n {
+            return Err(QcError::QubitOutOfRange { qubit: t, num_qubits: n });
+        }
+    }
+    let k = targets.len();
+    assert_eq!(gate_matrix.rows(), 1 << k, "gate matrix size does not match target count");
+    let dim = 1usize << n;
+    let mut out = Matrix::zeros(dim, dim);
+    // For every basis input column x, decompose into (gate-local part, rest).
+    for x in 0..dim {
+        let mut local_in = 0usize;
+        for (i, &t) in targets.iter().enumerate() {
+            if (x >> t) & 1 == 1 {
+                local_in |= 1 << i;
+            }
+        }
+        let rest = {
+            let mut r = x;
+            for &t in targets {
+                r &= !(1 << t);
+            }
+            r
+        };
+        for local_out in 0..(1 << k) {
+            let amp = gate_matrix[(local_out, local_in)];
+            if amp.is_zero(0.0) {
+                continue;
+            }
+            let mut y = rest;
+            for (i, &t) in targets.iter().enumerate() {
+                if (local_out >> i) & 1 == 1 {
+                    y |= 1 << t;
+                }
+            }
+            out[(y, x)] += amp;
+        }
+    }
+    Ok(out)
+}
+
+/// The unitary of a single gate instruction over an `n`-qubit register.
+///
+/// Barriers are the identity; measurements, resets, and conditioned gates are
+/// rejected (use [`circuit_unitary_with_classical`] for conditioned circuits).
+///
+/// # Errors
+///
+/// Returns [`QcError::NonUnitary`] for measure/reset/conditioned gates.
+pub fn gate_unitary(gate: &Gate, n: usize) -> Result<Matrix> {
+    if gate.is_conditioned() {
+        return Err(QcError::NonUnitary(format!("conditioned {}", gate.name())));
+    }
+    gate_unitary_ignoring_condition(gate, n)
+}
+
+fn gate_unitary_ignoring_condition(gate: &Gate, n: usize) -> Result<Matrix> {
+    match gate.kind {
+        GateKind::Barrier => Ok(Matrix::identity(1 << n)),
+        GateKind::Measure | GateKind::Reset => {
+            Err(QcError::NonUnitary(gate.name().to_string()))
+        }
+        _ => {
+            let m = gate
+                .kind
+                .matrix()
+                .ok_or_else(|| QcError::NonUnitary(gate.name().to_string()))?;
+            embed_gate(&m, &gate.qubits, n)
+        }
+    }
+}
+
+/// The denotational semantics `⟦C⟧` of an unconditioned, measurement-free
+/// circuit.
+///
+/// # Errors
+///
+/// Returns an error when the circuit contains measurements, resets, or
+/// conditioned gates, or is too large for the dense semantics.
+pub fn circuit_unitary(circuit: &Circuit) -> Result<Matrix> {
+    let n = circuit.num_qubits();
+    if n > MAX_DENSE_QUBITS {
+        return Err(QcError::Unsupported(format!(
+            "dense semantics limited to {MAX_DENSE_QUBITS} qubits, got {n}"
+        )));
+    }
+    let mut u = Matrix::identity(1 << n);
+    for gate in circuit.iter() {
+        let g = gate_unitary(gate, n)?;
+        u = &g * &u;
+    }
+    Ok(u)
+}
+
+/// The semantics of a circuit under a fixed assignment of classical bits:
+/// classically conditioned gates are kept or dropped according to the
+/// assignment, quantum-conditioned gates are rejected.
+///
+/// # Errors
+///
+/// Returns an error for measurements, resets, or quantum-conditioned gates.
+pub fn circuit_unitary_with_classical(circuit: &Circuit, clbits: &[bool]) -> Result<Matrix> {
+    let n = circuit.num_qubits();
+    if n > MAX_DENSE_QUBITS {
+        return Err(QcError::Unsupported(format!(
+            "dense semantics limited to {MAX_DENSE_QUBITS} qubits, got {n}"
+        )));
+    }
+    let mut u = Matrix::identity(1 << n);
+    for gate in circuit.iter() {
+        let include = match &gate.condition {
+            None => true,
+            Some(cond) => match cond.kind {
+                ConditionKind::Classical { bit, value } => {
+                    let actual = clbits.get(bit).copied().unwrap_or(false);
+                    actual == value
+                }
+                ConditionKind::Quantum { .. } => {
+                    return Err(QcError::NonUnitary("q_if-conditioned gate".to_string()))
+                }
+            },
+        };
+        if include {
+            let g = gate_unitary_ignoring_condition(gate, n)?;
+            u = &g * &u;
+        }
+    }
+    Ok(u)
+}
+
+/// Classical bits referenced by conditions in the circuit.
+fn condition_bits(circuit: &Circuit) -> Vec<usize> {
+    let mut bits: Vec<usize> = circuit
+        .iter()
+        .filter_map(|g| match g.condition {
+            Some(cond) => match cond.kind {
+                ConditionKind::Classical { bit, .. } => Some(bit),
+                ConditionKind::Quantum { .. } => None,
+            },
+            None => None,
+        })
+        .collect();
+    bits.sort_unstable();
+    bits.dedup();
+    bits
+}
+
+/// Checks whether two circuits are semantically equivalent (up to global
+/// phase).  Classically conditioned circuits are compared under every
+/// assignment of the referenced classical bits, which is how the
+/// `optimize_1q_gates` bug of §7.1 manifests concretely.
+///
+/// # Errors
+///
+/// Returns an error when either circuit contains measurements, resets, or
+/// quantum-conditioned gates, or the register is too large.
+pub fn circuits_equivalent(a: &Circuit, b: &Circuit) -> Result<bool> {
+    if a.num_qubits() != b.num_qubits() {
+        return Ok(false);
+    }
+    let mut bits = condition_bits(a);
+    bits.extend(condition_bits(b));
+    bits.sort_unstable();
+    bits.dedup();
+    if bits.is_empty() {
+        let ua = circuit_unitary(a)?;
+        let ub = circuit_unitary(b)?;
+        return Ok(ua.equal_up_to_global_phase(&ub, 1e-8));
+    }
+    if bits.len() > 10 {
+        return Err(QcError::Unsupported("too many condition bits".to_string()));
+    }
+    let max_bit = *bits.iter().max().unwrap();
+    for assignment in 0..(1usize << bits.len()) {
+        let mut clbits = vec![false; max_bit + 1];
+        for (i, &bit) in bits.iter().enumerate() {
+            clbits[bit] = (assignment >> i) & 1 == 1;
+        }
+        let ua = circuit_unitary_with_classical(a, &clbits)?;
+        let ub = circuit_unitary_with_classical(b, &clbits)?;
+        if !ua.equal_up_to_global_phase(&ub, 1e-8) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Checks that `routed` is equivalent to `original` *up to the output qubit
+/// permutation* `perm` (the `RoutingPass` obligation).
+///
+/// `perm` uses the routing pass's final-layout convention: `perm[w] = p`
+/// means the state that circuit wire `w` of `original` would hold ends up on
+/// physical wire `p` of `routed` (i.e. `perm` is the final logical→physical
+/// layout).  The check verifies `P⁻¹ · ⟦routed⟧ ≡ ⟦original⟧` where `P` is
+/// the corresponding qubit permutation.
+///
+/// # Errors
+///
+/// Returns an error when either circuit has no dense semantics.
+pub fn equivalent_up_to_permutation(
+    original: &Circuit,
+    routed: &Circuit,
+    perm: &[usize],
+) -> Result<bool> {
+    if original.num_qubits() != routed.num_qubits() || perm.len() != original.num_qubits() {
+        return Ok(false);
+    }
+    // Validate that `perm` is a permutation of 0..n.
+    let mut sorted = perm.to_vec();
+    sorted.sort_unstable();
+    if sorted != (0..original.num_qubits()).collect::<Vec<_>>() {
+        return Ok(false);
+    }
+    let mut inverse = vec![0usize; perm.len()];
+    for (wire, &physical) in perm.iter().enumerate() {
+        inverse[physical] = wire;
+    }
+    let u_orig = circuit_unitary(original)?;
+    let u_routed = circuit_unitary(routed)?;
+    let p_inv = Matrix::qubit_permutation(&inverse);
+    let lhs = &p_inv * &u_routed;
+    Ok(lhs.equal_up_to_global_phase(&u_orig, 1e-8))
+}
+
+/// Applies a circuit to the all-zeros state and returns the resulting state
+/// vector of length `2ⁿ` (used by examples and the benchmark generators'
+/// sanity checks).
+///
+/// # Errors
+///
+/// Returns an error when the circuit has no dense semantics.
+pub fn statevector(circuit: &Circuit) -> Result<Vec<Complex>> {
+    let u = circuit_unitary(circuit)?;
+    let dim = u.rows();
+    Ok((0..dim).map(|i| u[(i, 0)]).collect())
+}
+
+/// Returns `true` when the two gate kinds commute as operators whenever they
+/// overlap on the given operand lists (checked with the dense semantics on a
+/// minimal register).  Disjoint gates always commute.
+///
+/// # Errors
+///
+/// Returns an error when either gate lacks a matrix.
+pub fn gates_commute(a: &Gate, b: &Gate) -> Result<bool> {
+    if !a.shares_qubit(b) {
+        return Ok(true);
+    }
+    if a.is_conditioned() || b.is_conditioned() {
+        // Conservative: conditioned gates only commute when identical.
+        return Ok(false);
+    }
+    let mut qubits: Vec<usize> = a.qubits.iter().chain(b.qubits.iter()).copied().collect();
+    qubits.sort_unstable();
+    qubits.dedup();
+    let remap: std::collections::HashMap<usize, usize> =
+        qubits.iter().enumerate().map(|(i, &q)| (q, i)).collect();
+    let n = qubits.len();
+    let ra = Gate::new(a.kind, a.qubits.iter().map(|q| remap[q]).collect());
+    let rb = Gate::new(b.kind, b.qubits.iter().map(|q| remap[q]).collect());
+    let ua = gate_unitary(&ra, n)?;
+    let ub = gate_unitary(&rb, n)?;
+    let ab = &ua * &ub;
+    let ba = &ub * &ua;
+    Ok(ab.approx_eq(&ba, 1e-9))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_statevector_is_correct() {
+        let mut ghz = Circuit::new(3);
+        ghz.h(0).cx(0, 1).cx(1, 2);
+        let sv = statevector(&ghz).unwrap();
+        let amp = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(sv[0].approx_eq(Complex::real(amp), 1e-9));
+        assert!(sv[7].approx_eq(Complex::real(amp), 1e-9));
+        for i in 1..7 {
+            assert!(sv[i].is_zero(1e-9));
+        }
+    }
+
+    #[test]
+    fn cx_cancellation_is_identity() {
+        let mut c = Circuit::new(3);
+        c.cx(0, 2).cx(0, 2);
+        let u = circuit_unitary(&c).unwrap();
+        assert!(u.approx_eq(&Matrix::identity(8), 1e-9));
+    }
+
+    #[test]
+    fn swap_equals_three_cx() {
+        let mut swap = Circuit::new(2);
+        swap.swap(0, 1);
+        let mut cxs = Circuit::new(2);
+        cxs.cx(0, 1).cx(1, 0).cx(0, 1);
+        assert!(circuits_equivalent(&swap, &cxs).unwrap());
+    }
+
+    #[test]
+    fn hadamard_conjugation_turns_cx_into_cz() {
+        let mut lhs = Circuit::new(2);
+        lhs.h(1).cx(0, 1).h(1);
+        let mut rhs = Circuit::new(2);
+        rhs.cz(0, 1);
+        assert!(circuits_equivalent(&lhs, &rhs).unwrap());
+    }
+
+    #[test]
+    fn conditioned_merge_is_not_equivalent() {
+        // The §7.1 bug: merging u1(λ1) into a *conditioned* u3 changes semantics.
+        // Applying u1(λ1) first and u3(θ2,φ2,λ2) second composes to
+        // u3(θ2, φ2, λ1 + λ2) when neither gate is conditioned.
+        let lam1 = 0.7;
+        let (theta2, phi2, lam2) = (0.3, 0.4, 0.5);
+        let mut original = Circuit::with_clbits(1, 1);
+        original.u1(lam1, 0);
+        original
+            .push(Gate::new(GateKind::U3(theta2, phi2, lam2), vec![0]).with_classical_condition(0, true))
+            .unwrap();
+        let mut merged = Circuit::with_clbits(1, 1);
+        merged
+            .push(
+                Gate::new(GateKind::U3(theta2, phi2, lam1 + lam2), vec![0])
+                    .with_classical_condition(0, true),
+            )
+            .unwrap();
+        assert!(!circuits_equivalent(&original, &merged).unwrap());
+
+        // Without the condition the same merge *is* correct (Fig. 8a).
+        let mut original_ok = Circuit::new(1);
+        original_ok.u1(lam1, 0).u3(theta2, phi2, lam2, 0);
+        let mut merged_ok = Circuit::new(1);
+        merged_ok.u3(theta2, phi2, lam1 + lam2, 0);
+        assert!(circuits_equivalent(&original_ok, &merged_ok).unwrap());
+    }
+
+    #[test]
+    fn routing_equivalence_up_to_permutation() {
+        // original: cx(0,1); cx(0,2) on a line 0-1-2 needs routing for (0,2).
+        let mut original = Circuit::new(3);
+        original.cx(0, 1).cx(0, 2);
+        // routed: cx(0,1); swap(1,2); cx(0,1)  — afterwards logical 1 lives on
+        // physical 2 and logical 2 on physical 1.
+        let mut routed = Circuit::new(3);
+        routed.cx(0, 1).swap(1, 2).cx(0, 1);
+        // perm maps physical wire -> logical wire position in the original.
+        let perm = vec![0, 2, 1];
+        assert!(equivalent_up_to_permutation(&original, &routed, &perm).unwrap());
+        // The identity permutation must fail — the swap is real.
+        assert!(!equivalent_up_to_permutation(&original, &routed, &[0, 1, 2]).unwrap());
+    }
+
+    #[test]
+    fn commutation_facts() {
+        let z0 = Gate::new(GateKind::Z, vec![0]);
+        let x1 = Gate::new(GateKind::X, vec![1]);
+        let cx01 = Gate::new(GateKind::CX, vec![0, 1]);
+        let x0 = Gate::new(GateKind::X, vec![0]);
+        // Z on the control commutes with CX; X on the target commutes with CX.
+        assert!(gates_commute(&z0, &cx01).unwrap());
+        assert!(gates_commute(&x1, &cx01).unwrap());
+        // X on the control does not commute with CX.
+        assert!(!gates_commute(&x0, &cx01).unwrap());
+        // Disjoint gates always commute.
+        assert!(gates_commute(&z0, &x1).unwrap());
+        // The non-transitivity at the heart of the §7.2 bug: Z0 ~ CX, X1 ~ CX,
+        // but Z0 and X1 both commuting with CX does not make Z0 commute with
+        // X0-type gates across the CX; concretely Z1 ~ CX fails.
+        let z1 = Gate::new(GateKind::Z, vec![1]);
+        assert!(!gates_commute(&z1, &cx01).unwrap());
+    }
+
+    #[test]
+    fn measurements_are_rejected() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.measure(0, 0);
+        assert!(circuit_unitary(&c).is_err());
+    }
+
+    #[test]
+    fn barrier_is_identity() {
+        let mut c = Circuit::new(2);
+        c.h(0).barrier_all().h(0);
+        let u = circuit_unitary(&c).unwrap();
+        assert!(u.equal_up_to_global_phase(&Matrix::identity(4), 1e-9));
+    }
+
+    #[test]
+    fn too_many_qubits_is_rejected() {
+        let c = Circuit::new(MAX_DENSE_QUBITS + 1);
+        assert!(circuit_unitary(&c).is_err());
+    }
+}

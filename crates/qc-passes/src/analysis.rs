@@ -1,0 +1,256 @@
+//! Circuit-analysis passes: they compute properties of the circuit and never
+//! modify it.
+
+use qc_ir::{DagCircuit, QcError};
+
+use crate::pass::{AnalysisValue, PropertySet, TranspilerPass};
+
+/// `Width`: number of qubits plus classical bits.
+#[derive(Debug, Clone, Default)]
+pub struct Width;
+
+impl TranspilerPass for Width {
+    fn name(&self) -> &'static str {
+        "Width"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        props.set("width", AnalysisValue::Int(dag.width()));
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `Depth`: circuit depth.
+#[derive(Debug, Clone, Default)]
+pub struct Depth;
+
+impl TranspilerPass for Depth {
+    fn name(&self) -> &'static str {
+        "Depth"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        props.set("depth", AnalysisValue::Int(dag.depth()));
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `Size`: number of operations.
+#[derive(Debug, Clone, Default)]
+pub struct Size;
+
+impl TranspilerPass for Size {
+    fn name(&self) -> &'static str {
+        "Size"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        props.set("size", AnalysisValue::Int(dag.size()));
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `CountOps`: operation histogram.
+#[derive(Debug, Clone, Default)]
+pub struct CountOps;
+
+impl TranspilerPass for CountOps {
+    fn name(&self) -> &'static str {
+        "CountOps"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        props.set("count_ops", AnalysisValue::Counts(dag.count_ops()));
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `CountOpsLongestPath`: operation histogram restricted to the longest path.
+#[derive(Debug, Clone, Default)]
+pub struct CountOpsLongestPath;
+
+impl TranspilerPass for CountOpsLongestPath {
+    fn name(&self) -> &'static str {
+        "CountOpsLongestPath"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        props.set(
+            "count_ops_longest_path",
+            AnalysisValue::Counts(dag.count_ops_longest_path()),
+        );
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `NumTensorFactors`: number of independent tensor factors in the circuit.
+#[derive(Debug, Clone, Default)]
+pub struct NumTensorFactors;
+
+impl TranspilerPass for NumTensorFactors {
+    fn name(&self) -> &'static str {
+        "NumTensorFactors"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        let circuit = dag.to_circuit()?;
+        props.set("num_tensor_factors", AnalysisValue::Int(circuit.num_tensor_factors()));
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `DAGLongestPath`: length of the longest dependency path.
+#[derive(Debug, Clone, Default)]
+pub struct DagLongestPath;
+
+impl TranspilerPass for DagLongestPath {
+    fn name(&self) -> &'static str {
+        "DAGLongestPath"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        props.set("dag_longest_path", AnalysisValue::Int(dag.longest_path_length()));
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `DAGFixedPoint`: true when the DAG did not change since the previous
+/// invocation of this pass.
+#[derive(Debug, Clone, Default)]
+pub struct DagFixedPoint;
+
+impl TranspilerPass for DagFixedPoint {
+    fn name(&self) -> &'static str {
+        "DAGFixedPoint"
+    }
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        let current = dag.count_ops();
+        let size = dag.size();
+        let fingerprint = format!("{size}:{current:?}");
+        let reached = match props.analysis.get("dag_fingerprint_str") {
+            Some(AnalysisValue::Counts(map)) => map.contains_key(&fingerprint),
+            _ => false,
+        };
+        let mut map = std::collections::BTreeMap::new();
+        map.insert(fingerprint, 1usize);
+        props.set("dag_fingerprint_str", AnalysisValue::Counts(map));
+        props.set("dag_fixed_point", AnalysisValue::Bool(reached));
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+/// `FixedPoint`: true when the named integer property did not change since
+/// the previous invocation (used to drive `do_while` style pipelines).
+#[derive(Debug, Clone)]
+pub struct FixedPoint {
+    property: String,
+}
+
+impl FixedPoint {
+    /// Creates the pass watching an integer property (e.g. `"depth"`).
+    pub fn new(property: &str) -> Self {
+        FixedPoint { property: property.to_string() }
+    }
+}
+
+impl TranspilerPass for FixedPoint {
+    fn name(&self) -> &'static str {
+        "FixedPoint"
+    }
+    fn run(&self, _dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        let key_prev = format!("{}_previous", self.property);
+        let current = props.get_int(&self.property);
+        let previous = props.get_int(&key_prev);
+        let reached = current.is_some() && current == previous;
+        props.set(&format!("{}_fixed_point", self.property), AnalysisValue::Bool(reached));
+        if let Some(v) = current {
+            props.set(&key_prev, AnalysisValue::Int(v));
+        }
+        Ok(())
+    }
+    fn is_analysis(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_ir::Circuit;
+
+    fn ghz_dag() -> DagCircuit {
+        let mut c = Circuit::with_clbits(3, 3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        c.measure(0, 0).measure(1, 1).measure(2, 2);
+        DagCircuit::from_circuit(&c)
+    }
+
+    #[test]
+    fn basic_metrics() {
+        let mut dag = ghz_dag();
+        let mut props = PropertySet::new();
+        Width.run(&mut dag, &mut props).unwrap();
+        Depth.run(&mut dag, &mut props).unwrap();
+        Size.run(&mut dag, &mut props).unwrap();
+        CountOps.run(&mut dag, &mut props).unwrap();
+        NumTensorFactors.run(&mut dag, &mut props).unwrap();
+        DagLongestPath.run(&mut dag, &mut props).unwrap();
+        CountOpsLongestPath.run(&mut dag, &mut props).unwrap();
+        assert_eq!(props.get_int("width"), Some(6));
+        assert_eq!(props.get_int("size"), Some(6));
+        assert_eq!(props.get_int("depth"), Some(4));
+        assert_eq!(props.get_int("num_tensor_factors"), Some(1));
+        assert_eq!(props.get_int("dag_longest_path"), Some(4));
+        match props.analysis.get("count_ops") {
+            Some(AnalysisValue::Counts(map)) => {
+                assert_eq!(map.get("cx"), Some(&2));
+                assert_eq!(map.get("measure"), Some(&3));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fixed_point_flags_stability() {
+        let mut dag = ghz_dag();
+        let mut props = PropertySet::new();
+        let fp = FixedPoint::new("depth");
+        Depth.run(&mut dag, &mut props).unwrap();
+        fp.run(&mut dag, &mut props).unwrap();
+        assert_eq!(props.get_bool("depth_fixed_point"), Some(false));
+        Depth.run(&mut dag, &mut props).unwrap();
+        fp.run(&mut dag, &mut props).unwrap();
+        assert_eq!(props.get_bool("depth_fixed_point"), Some(true));
+    }
+
+    #[test]
+    fn dag_fixed_point_detects_unchanged_dags() {
+        let mut dag = ghz_dag();
+        let mut props = PropertySet::new();
+        DagFixedPoint.run(&mut dag, &mut props).unwrap();
+        assert_eq!(props.get_bool("dag_fixed_point"), Some(false));
+        DagFixedPoint.run(&mut dag, &mut props).unwrap();
+        assert_eq!(props.get_bool("dag_fixed_point"), Some(true));
+        // A modification resets the flag.
+        dag.push_gate(qc_ir::Gate::new(qc_ir::GateKind::H, vec![0]));
+        DagFixedPoint.run(&mut dag, &mut props).unwrap();
+        assert_eq!(props.get_bool("dag_fixed_point"), Some(false));
+    }
+}

@@ -1,0 +1,188 @@
+//! Assorted passes: barrier handling and final-measurement clean-up.
+
+use qc_ir::{Circuit, DagCircuit, Gate, GateKind, QcError};
+
+use crate::pass::{PropertySet, TranspilerPass};
+
+fn rebuild(dag: &mut DagCircuit, circuit: Circuit) {
+    *dag = DagCircuit::from_circuit(&circuit);
+}
+
+/// `MergeAdjacentBarriers`: merge runs of directly adjacent barriers into a
+/// single barrier across the union of their qubits.
+#[derive(Debug, Clone, Default)]
+pub struct MergeAdjacentBarriers;
+
+impl TranspilerPass for MergeAdjacentBarriers {
+    fn name(&self) -> &'static str {
+        "MergeAdjacentBarriers"
+    }
+    fn run(&self, dag: &mut DagCircuit, _props: &mut PropertySet) -> Result<(), QcError> {
+        let circuit = dag.to_circuit()?;
+        let mut output = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+        let mut pending_barrier: Option<Vec<usize>> = None;
+        for gate in circuit.iter() {
+            if gate.kind == GateKind::Barrier {
+                let qubits = pending_barrier.take().unwrap_or_default();
+                let mut merged: Vec<usize> = qubits;
+                merged.extend(gate.qubits.iter().copied());
+                merged.sort_unstable();
+                merged.dedup();
+                pending_barrier = Some(merged);
+            } else {
+                if let Some(qubits) = pending_barrier.take() {
+                    output.push(Gate::barrier(qubits))?;
+                }
+                output.push(gate.clone())?;
+            }
+        }
+        if let Some(qubits) = pending_barrier.take() {
+            output.push(Gate::barrier(qubits))?;
+        }
+        rebuild(dag, output);
+        Ok(())
+    }
+}
+
+/// `BarrierBeforeFinalMeasurements`: insert a barrier across all measured
+/// qubits right before the block of final measurements.
+#[derive(Debug, Clone, Default)]
+pub struct BarrierBeforeFinalMeasurements;
+
+/// Indices of the trailing measurement block: measurements that are final on
+/// their wires (only other final measurements or barriers follow them).
+fn final_measurement_indices(circuit: &Circuit) -> Vec<usize> {
+    let gates = circuit.gates();
+    let mut finals = Vec::new();
+    for (i, gate) in gates.iter().enumerate() {
+        if gate.kind != GateKind::Measure {
+            continue;
+        }
+        let q = gate.qubits[0];
+        let is_final = gates
+            .iter()
+            .skip(i + 1)
+            .all(|later| !later.qubits.contains(&q) || later.kind == GateKind::Barrier);
+        if is_final {
+            finals.push(i);
+        }
+    }
+    finals
+}
+
+impl TranspilerPass for BarrierBeforeFinalMeasurements {
+    fn name(&self) -> &'static str {
+        "BarrierBeforeFinalMeasurements"
+    }
+    fn run(&self, dag: &mut DagCircuit, _props: &mut PropertySet) -> Result<(), QcError> {
+        let circuit = dag.to_circuit()?;
+        let finals = final_measurement_indices(&circuit);
+        if finals.is_empty() {
+            return Ok(());
+        }
+        let measured: Vec<usize> =
+            finals.iter().map(|&i| circuit.gates()[i].qubits[0]).collect();
+        let first_final = finals[0];
+        let mut output = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+        for (i, gate) in circuit.iter().enumerate() {
+            if i == first_final {
+                output.push(Gate::barrier(measured.clone()))?;
+            }
+            output.push(gate.clone())?;
+        }
+        rebuild(dag, output);
+        Ok(())
+    }
+}
+
+/// `RemoveFinalMeasurements`: remove measurements (and barriers that become
+/// trailing) at the very end of the circuit.
+#[derive(Debug, Clone, Default)]
+pub struct RemoveFinalMeasurements;
+
+impl TranspilerPass for RemoveFinalMeasurements {
+    fn name(&self) -> &'static str {
+        "RemoveFinalMeasurements"
+    }
+    fn run(&self, dag: &mut DagCircuit, _props: &mut PropertySet) -> Result<(), QcError> {
+        let circuit = dag.to_circuit()?;
+        let finals = final_measurement_indices(&circuit);
+        let mut output = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+        for (i, gate) in circuit.iter().enumerate() {
+            if finals.contains(&i) {
+                continue;
+            }
+            output.push(gate.clone())?;
+        }
+        // Drop barriers that are now trailing on all their qubits.
+        loop {
+            let last_is_barrier =
+                matches!(output.gates().last(), Some(g) if g.kind == GateKind::Barrier);
+            if last_is_barrier {
+                output.delete(output.size() - 1);
+            } else {
+                break;
+            }
+        }
+        rebuild(dag, output);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn apply(pass: &dyn TranspilerPass, circuit: &Circuit) -> Circuit {
+        let mut dag = DagCircuit::from_circuit(circuit);
+        let mut props = PropertySet::new();
+        pass.run(&mut dag, &mut props).unwrap();
+        dag.to_circuit().unwrap()
+    }
+
+    #[test]
+    fn merge_adjacent_barriers() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.append(Gate::barrier(vec![0, 1]));
+        c.append(Gate::barrier(vec![1, 2]));
+        c.h(1);
+        c.append(Gate::barrier(vec![0]));
+        let out = apply(&MergeAdjacentBarriers, &c);
+        assert_eq!(out.count_ops().get("barrier"), Some(&2));
+        // The first two barriers merged across qubits {0, 1, 2}.
+        let merged = out.iter().find(|g| g.kind == GateKind::Barrier).unwrap();
+        assert_eq!(merged.qubits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn barrier_before_final_measurements() {
+        let mut c = Circuit::with_clbits(2, 2);
+        c.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let out = apply(&BarrierBeforeFinalMeasurements, &c);
+        assert_eq!(out.count_ops().get("barrier"), Some(&1));
+        // The barrier sits right before the first final measurement.
+        let barrier_pos = out.iter().position(|g| g.kind == GateKind::Barrier).unwrap();
+        assert_eq!(barrier_pos, 2);
+        assert!(out.gates()[3..].iter().all(|g| g.kind == GateKind::Measure));
+    }
+
+    #[test]
+    fn mid_circuit_measurements_are_not_final() {
+        let mut c = Circuit::with_clbits(1, 1);
+        c.measure(0, 0).h(0);
+        assert!(final_measurement_indices(&c).is_empty());
+        let out = apply(&RemoveFinalMeasurements, &c);
+        assert_eq!(out, c);
+    }
+
+    #[test]
+    fn remove_final_measurements_strips_the_tail() {
+        let mut c = Circuit::with_clbits(2, 2);
+        c.h(0).cx(0, 1).barrier_all().measure(0, 0).measure(1, 1);
+        let out = apply(&RemoveFinalMeasurements, &c);
+        assert!(out.count_ops().get("measure").is_none());
+        assert!(out.count_ops().get("barrier").is_none(), "trailing barrier is dropped too");
+        assert_eq!(out.size(), 2);
+    }
+}

@@ -1,0 +1,87 @@
+//! The preset transpilation pipeline used as the unverified baseline in the
+//! Figure 11 reproduction: layout selection → ancilla allocation → layout
+//! application → lookahead-swap routing → gate direction fixing → basis
+//! unrolling → 1-qubit optimisation → CX cancellation.
+
+use qc_ir::{Circuit, CouplingMap, QcError};
+
+use crate::basis::{GateDirection, Unroller};
+use crate::layout::{ApplyLayout, EnlargeWithAncilla, FullAncillaAllocation, TrivialLayout};
+use crate::optimization::{CxCancellation, Optimize1qGates};
+use crate::pass::{PassManager, TranspileResult};
+use crate::routing::{CheckMap, LookaheadSwap};
+
+/// Builds the default pipeline for a device.
+pub fn default_pass_manager(coupling: &CouplingMap, seed: u64) -> PassManager {
+    let mut pm = PassManager::new();
+    pm.append(Box::new(TrivialLayout::new(coupling.clone())))
+        .append(Box::new(FullAncillaAllocation::new(coupling.clone())))
+        .append(Box::new(EnlargeWithAncilla))
+        .append(Box::new(ApplyLayout))
+        .append(Box::new(Unroller::new(&["u1", "u2", "u3", "cx", "swap"])))
+        .append(Box::new(LookaheadSwap::new(coupling.clone(), seed)))
+        .append(Box::new(GateDirection::new(coupling.clone())))
+        .append(Box::new(Unroller::new(&["u1", "u2", "u3", "cx", "swap"])))
+        .append(Box::new(Optimize1qGates::new()))
+        .append(Box::new(CxCancellation))
+        .append(Box::new(CheckMap::new(coupling.clone())));
+    pm
+}
+
+/// Transpiles a circuit for a device with the default pipeline (the
+/// Figure 11 baseline configuration, which uses the lookahead swap pass).
+///
+/// # Errors
+///
+/// Propagates any pass failure (e.g. a circuit larger than the device).
+pub fn transpile(
+    circuit: &Circuit,
+    coupling: &CouplingMap,
+    seed: u64,
+) -> Result<TranspileResult, QcError> {
+    default_pass_manager(coupling, seed).run(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_produces_a_hardware_compatible_circuit() {
+        let mut circuit = Circuit::new(4);
+        circuit.h(0).cx(0, 3).ccx(0, 1, 2).cx(1, 3).t(2).cx(0, 2);
+        let coupling = CouplingMap::line(5);
+        let result = transpile(&circuit, &coupling, 11).unwrap();
+        assert_eq!(result.properties.get_bool("is_swap_mapped"), Some(true));
+        for gate in result.circuit.iter() {
+            if gate.num_qubits() == 2 && !gate.is_directive() {
+                assert!(coupling.connected(gate.qubits[0], gate.qubits[1]));
+            }
+        }
+        // Only basis gates (plus swap inserted by routing) remain.
+        for gate in result.circuit.iter() {
+            assert!(
+                matches!(gate.name(), "u1" | "u2" | "u3" | "cx" | "swap" | "barrier" | "measure"),
+                "unexpected gate {}",
+                gate.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_for_a_fixed_seed() {
+        let mut circuit = Circuit::new(3);
+        circuit.h(0).cx(0, 2).cx(1, 2);
+        let coupling = CouplingMap::ring(4);
+        let a = transpile(&circuit, &coupling, 3).unwrap();
+        let b = transpile(&circuit, &coupling, 3).unwrap();
+        assert_eq!(a.circuit, b.circuit);
+    }
+
+    #[test]
+    fn pipeline_rejects_circuits_larger_than_the_device() {
+        let circuit = Circuit::new(6);
+        let coupling = CouplingMap::line(3);
+        assert!(transpile(&circuit, &coupling, 1).is_err());
+    }
+}

@@ -1,0 +1,282 @@
+//! Equivalence checking for symbolic circuits.
+//!
+//! Two circuits are equivalent when, starting from the same symbolic
+//! register, every output wire normalises (under the rewrite-rule library and
+//! the congruence closure over any assumed equalities) to the same term.
+//! This is the efficient check that replaces the exponential matrix
+//! comparison in the Giallar verifier.
+
+use qc_ir::Circuit;
+use smtlite::{TermId, Verdict};
+
+use crate::circuit::SymCircuit;
+use crate::exec::SymbolicExecutor;
+
+/// A reusable equivalence checker over a fixed register size.
+#[derive(Debug)]
+pub struct EquivalenceChecker {
+    executor: SymbolicExecutor,
+    num_qubits: usize,
+}
+
+impl EquivalenceChecker {
+    /// Creates a checker for circuits over `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        EquivalenceChecker { executor: SymbolicExecutor::new(num_qubits), num_qubits }
+    }
+
+    /// Access to the underlying symbolic executor (for adding assumptions
+    /// coming from verified-library specifications).
+    pub fn executor_mut(&mut self) -> &mut SymbolicExecutor {
+        &mut self.executor
+    }
+
+    /// Number of qubits the checker was created for.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Checks strict equivalence: all output wires must match.
+    pub fn check(&mut self, lhs: &SymCircuit, rhs: &SymCircuit) -> Verdict {
+        let identity: Vec<usize> = (0..self.num_qubits).collect();
+        self.check_with_wire_map(lhs, rhs, &identity)
+    }
+
+    /// Checks equivalence of a routed circuit against the original, up to the
+    /// final qubit permutation tracked by the routing pass: output wire
+    /// `perm[l]` of `rhs` must match output wire `l` of `lhs`.
+    pub fn check_with_permutation(
+        &mut self,
+        lhs: &SymCircuit,
+        rhs: &SymCircuit,
+        perm: &[usize],
+    ) -> Verdict {
+        self.check_with_wire_map(lhs, rhs, perm)
+    }
+
+    fn check_with_wire_map(
+        &mut self,
+        lhs: &SymCircuit,
+        rhs: &SymCircuit,
+        wire_map: &[usize],
+    ) -> Verdict {
+        if wire_map.len() != self.num_qubits {
+            return Verdict::Refuted {
+                explanation: format!(
+                    "wire map covers {} qubits but the register has {}",
+                    wire_map.len(),
+                    self.num_qubits
+                ),
+            };
+        }
+        let out_lhs = self.executor.execute(lhs);
+        let out_rhs = self.executor.execute(rhs);
+        for logical in 0..self.num_qubits {
+            let a = out_lhs[logical];
+            let b = out_rhs[wire_map[logical]];
+            match self.executor.context_mut().check_eq(a, b) {
+                Verdict::Proved => continue,
+                Verdict::Refuted { explanation } => {
+                    return Verdict::Refuted {
+                        explanation: format!("qubit {logical} differs: {explanation}"),
+                    }
+                }
+                Verdict::Unknown { reason } => {
+                    return Verdict::Unknown {
+                        reason: format!("qubit {logical} undecided: {reason}"),
+                    }
+                }
+            }
+        }
+        Verdict::Proved
+    }
+
+    /// Convenience: assumes that two wires are equal (used to instantiate
+    /// verified-library specifications during a proof).
+    pub fn assume_wire_eq(&mut self, a: TermId, b: TermId) {
+        self.executor.context_mut().assume_eq(a, b);
+    }
+}
+
+/// Checks strict equivalence of two symbolic circuits with a fresh checker.
+pub fn check_equivalence(lhs: &SymCircuit, rhs: &SymCircuit) -> Verdict {
+    let n = lhs.num_qubits().max(rhs.num_qubits());
+    EquivalenceChecker::new(n).check(lhs, rhs)
+}
+
+/// Checks equivalence up to a final qubit permutation (the `RoutingPass`
+/// proof obligation).
+pub fn check_equivalence_with_permutation(
+    lhs: &SymCircuit,
+    rhs: &SymCircuit,
+    perm: &[usize],
+) -> Verdict {
+    let n = lhs.num_qubits().max(rhs.num_qubits());
+    EquivalenceChecker::new(n).check_with_permutation(lhs, rhs, perm)
+}
+
+/// Checks equivalence after stripping trailing measurements from both sides
+/// (the obligation for `RemoveFinalMeasurements`-style passes).
+pub fn check_equivalence_up_to_final_measurements(lhs: &Circuit, rhs: &Circuit) -> Verdict {
+    let a = SymCircuit::from_circuit(lhs).without_final_measurements();
+    let b = SymCircuit::from_circuit(rhs).without_final_measurements();
+    check_equivalence(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_ir::{Gate, GateKind};
+
+    #[test]
+    fn cx_cancellation_goal() {
+        let mut lhs = Circuit::new(2);
+        lhs.cx(0, 1).cx(0, 1);
+        let rhs = Circuit::new(2);
+        assert!(check_equivalence(
+            &SymCircuit::from_circuit(&lhs),
+            &SymCircuit::from_circuit(&rhs)
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn cx_cancellation_with_intervening_segment() {
+        // The G2 goal from §6: CX ; C1 ; CX ; C2 ≡ C1 ; C2 where C1 does not
+        // touch the CX qubits.
+        let cx = Gate::new(GateKind::CX, vec![0, 1]);
+        let mut lhs = SymCircuit::new(4);
+        lhs.push_gate(cx.clone());
+        lhs.push_segment("C1", vec![0, 1]);
+        lhs.push_gate(cx.clone());
+        lhs.push_segment("C2", vec![]);
+        let mut rhs = SymCircuit::new(4);
+        rhs.push_segment("C1", vec![0, 1]);
+        rhs.push_segment("C2", vec![]);
+        assert!(check_equivalence(&lhs, &rhs).is_proved());
+    }
+
+    #[test]
+    fn non_equivalent_circuits_are_refuted() {
+        let mut lhs = Circuit::new(2);
+        lhs.cx(0, 1);
+        let rhs = Circuit::new(2);
+        let verdict =
+            check_equivalence(&SymCircuit::from_circuit(&lhs), &SymCircuit::from_circuit(&rhs));
+        assert!(verdict.is_refuted());
+    }
+
+    #[test]
+    fn commutation_enables_distant_cancellation() {
+        // Z(control) between two CNOTs: CX; Z(0); CX ≡ Z(0).
+        let mut lhs = Circuit::new(2);
+        lhs.cx(0, 1).z(0).cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.z(0);
+        assert!(check_equivalence(
+            &SymCircuit::from_circuit(&lhs),
+            &SymCircuit::from_circuit(&rhs)
+        )
+        .is_proved());
+        // X on the target likewise commutes through.
+        let mut lhs = Circuit::new(2);
+        lhs.cx(0, 1).x(1).cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.x(1);
+        assert!(check_equivalence(
+            &SymCircuit::from_circuit(&lhs),
+            &SymCircuit::from_circuit(&rhs)
+        )
+        .is_proved());
+        // But X on the *control* does not commute with CX; the (wrong) claim
+        // CX; X(0); CX ≡ X(0) must be refuted.
+        let mut lhs = Circuit::new(2);
+        lhs.cx(0, 1).x(0).cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.x(0);
+        assert!(!check_equivalence(
+            &SymCircuit::from_circuit(&lhs),
+            &SymCircuit::from_circuit(&rhs)
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn swap_rules_discharge_routing_goals() {
+        // cx(0,1); swap(1,2); cx(0,1)  ≡  cx(0,1); cx(0,2) up to the final
+        // permutation that maps logical 1 to wire 2 and logical 2 to wire 1.
+        let mut routed = Circuit::new(3);
+        routed.cx(0, 1).swap(1, 2).cx(0, 1);
+        let mut original = Circuit::new(3);
+        original.cx(0, 1).cx(0, 2);
+        let verdict = check_equivalence_with_permutation(
+            &SymCircuit::from_circuit(&original),
+            &SymCircuit::from_circuit(&routed),
+            &[0, 2, 1],
+        );
+        assert!(verdict.is_proved(), "{verdict:?}");
+        // With the identity permutation the circuits differ.
+        assert!(!check_equivalence(
+            &SymCircuit::from_circuit(&original),
+            &SymCircuit::from_circuit(&routed)
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn direction_reversal_is_equivalent() {
+        let mut flipped = Circuit::new(2);
+        flipped.h(0).h(1).cx(1, 0).h(0).h(1);
+        let mut original = Circuit::new(2);
+        original.cx(0, 1);
+        assert!(check_equivalence(
+            &SymCircuit::from_circuit(&original),
+            &SymCircuit::from_circuit(&flipped)
+        )
+        .is_proved());
+    }
+
+    #[test]
+    fn conditioned_gates_block_merging() {
+        // The §7.1 bug shape: a conditioned u3 is not interchangeable with an
+        // unconditioned one.
+        let mut lhs = Circuit::with_clbits(1, 1);
+        lhs.push(Gate::new(GateKind::U3(0.3, 0.4, 0.5), vec![0]).with_classical_condition(0, true))
+            .unwrap();
+        let mut rhs = Circuit::new(1);
+        rhs.u3(0.3, 0.4, 0.5, 0);
+        assert!(check_equivalence(
+            &SymCircuit::from_circuit(&lhs),
+            &SymCircuit::from_circuit(&rhs)
+        )
+        .is_refuted());
+    }
+
+    #[test]
+    fn final_measurements_are_ignored_when_requested() {
+        let mut lhs = Circuit::with_clbits(2, 2);
+        lhs.h(0).cx(0, 1).measure(0, 0).measure(1, 1);
+        let mut rhs = Circuit::with_clbits(2, 2);
+        rhs.h(0).cx(0, 1);
+        assert!(check_equivalence_up_to_final_measurements(&lhs, &rhs).is_proved());
+        // Strict equivalence still sees the measurements.
+        assert!(check_equivalence(
+            &SymCircuit::from_circuit(&lhs),
+            &SymCircuit::from_circuit(&rhs)
+        )
+        .is_refuted());
+    }
+
+    #[test]
+    fn barriers_are_transparent() {
+        let mut lhs = Circuit::new(2);
+        lhs.h(0).barrier_all().cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.h(0).cx(0, 1);
+        assert!(check_equivalence(
+            &SymCircuit::from_circuit(&lhs),
+            &SymCircuit::from_circuit(&rhs)
+        )
+        .is_proved());
+    }
+}

@@ -1,0 +1,236 @@
+//! Symbolic execution of quantum circuits onto `smtlite` terms.
+//!
+//! This is the `app`/`app1q`/`app2q` machinery of §5: every qubit of the
+//! register is a term, a gate application replaces the terms of its operand
+//! wires with new applications, and opaque segments become uninterpreted
+//! functions of the wires they may touch.
+
+use qc_ir::{ConditionKind, Gate, GateKind};
+use smtlite::{Context, TermId};
+
+use crate::circuit::{SymCircuit, SymElement};
+use crate::rules::circuit_rewrite_rules;
+
+/// Canonical encoding of a gate parameter as a term symbol.
+///
+/// Two parameters produce the same symbol exactly when their canonical
+/// formatting agrees, which is the case for parameters produced by the same
+/// arithmetic on both sides of an obligation.
+pub fn param_symbol(value: f64) -> String {
+    format!("#par:{value:.12e}")
+}
+
+/// The function-symbol prefix used for a gate kind (without the output-wire
+/// suffix used by multi-qubit gates).
+pub fn gate_func_name(gate: &Gate) -> String {
+    let base = gate.kind.name().to_string();
+    match &gate.condition {
+        None => base,
+        Some(cond) => match cond.kind {
+            ConditionKind::Classical { bit, value } => {
+                format!("cif[c{bit}={}]{base}", value as u8)
+            }
+            ConditionKind::Quantum { qubit } => format!("qif[q{qubit}]{base}"),
+        },
+    }
+}
+
+/// A symbolic executor: owns an [`smtlite::Context`] pre-loaded with the
+/// circuit rewrite rules and the initial register terms `q0, q1, …`.
+#[derive(Debug)]
+pub struct SymbolicExecutor {
+    ctx: Context,
+    initial: Vec<TermId>,
+}
+
+impl SymbolicExecutor {
+    /// Creates an executor over a register of `num_qubits` symbolic qubits,
+    /// with the full Giallar rewrite-rule library installed.
+    pub fn new(num_qubits: usize) -> Self {
+        let mut ctx = Context::new();
+        for rule in circuit_rewrite_rules() {
+            ctx.add_rule(rule.rule);
+        }
+        let initial =
+            (0..num_qubits).map(|i| ctx.arena_mut().symbol(&format!("q{i}"))).collect();
+        SymbolicExecutor { ctx, initial }
+    }
+
+    /// The initial register terms.
+    pub fn initial_register(&self) -> Vec<TermId> {
+        self.initial.clone()
+    }
+
+    /// Access to the underlying solver context.
+    pub fn context_mut(&mut self) -> &mut Context {
+        &mut self.ctx
+    }
+
+    /// Read-only access to the underlying solver context.
+    pub fn context(&self) -> &Context {
+        &self.ctx
+    }
+
+    /// Symbolically executes a circuit starting from the initial register.
+    pub fn execute(&mut self, circuit: &SymCircuit) -> Vec<TermId> {
+        let state = self.initial_register();
+        self.execute_from(circuit, &state)
+    }
+
+    /// Symbolically executes a circuit from an explicit register state.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the state has fewer qubits than the circuit requires.
+    pub fn execute_from(&mut self, circuit: &SymCircuit, state: &[TermId]) -> Vec<TermId> {
+        assert!(
+            state.len() >= circuit.num_qubits(),
+            "register state smaller than the circuit"
+        );
+        let mut state = state.to_vec();
+        for element in circuit.elements() {
+            match element {
+                SymElement::Gate(gate) => self.apply_gate(gate, &mut state),
+                SymElement::Segment { name, excluded_qubits } => {
+                    self.apply_segment(name, excluded_qubits, &mut state);
+                }
+            }
+        }
+        state
+    }
+
+    /// Applies a single gate to the symbolic state.
+    pub fn apply_gate(&mut self, gate: &Gate, state: &mut [TermId]) {
+        match gate.kind {
+            // Barriers have identity semantics.
+            GateKind::Barrier => {}
+            _ => {
+                let name = gate_func_name(gate);
+                let params: Vec<TermId> = gate
+                    .kind
+                    .params()
+                    .iter()
+                    .map(|&p| self.ctx.arena_mut().symbol(&param_symbol(p)))
+                    .collect();
+                let inputs: Vec<TermId> = gate.qubits.iter().map(|&q| state[q]).collect();
+                if gate.qubits.len() == 1 {
+                    // app1q(U, q)
+                    let mut args = params;
+                    args.extend(inputs);
+                    let out = self.ctx.arena_mut().app(&name, args);
+                    state[gate.qubits[0]] = out;
+                } else {
+                    // app2q/app3q: one output term per wire, suffix `_k`.
+                    let mut outs = Vec::with_capacity(gate.qubits.len());
+                    for k in 0..gate.qubits.len() {
+                        let mut args = params.clone();
+                        args.extend(inputs.iter().copied());
+                        let out = self.ctx.arena_mut().app(&format!("{name}_{}", k + 1), args);
+                        outs.push(out);
+                    }
+                    for (k, &q) in gate.qubits.iter().enumerate() {
+                        state[q] = outs[k];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies an opaque segment: every qubit the segment may touch receives
+    /// an uninterpreted term that depends on all touched input wires.
+    fn apply_segment(&mut self, name: &str, excluded: &[usize], state: &mut Vec<TermId>) {
+        let touched: Vec<usize> =
+            (0..state.len()).filter(|q| !excluded.contains(q)).collect();
+        let inputs: Vec<TermId> = touched.iter().map(|&q| state[q]).collect();
+        for &q in &touched {
+            let out = self.ctx.arena_mut().app(&format!("seg_{name}_{q}"), inputs.clone());
+            state[q] = out;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qc_ir::Circuit;
+
+    #[test]
+    fn ghz_produces_the_paper_terms() {
+        // §5 example: GHZ = H(0); CX(0,1); CX(1,2).
+        let mut ghz = Circuit::new(3);
+        ghz.h(0).cx(0, 1).cx(1, 2);
+        let mut exec = SymbolicExecutor::new(3);
+        let out = exec.execute(&SymCircuit::from_circuit(&ghz));
+        let display: Vec<String> =
+            out.iter().map(|&t| exec.context().arena().display(t)).collect();
+        assert_eq!(display[0], "cx_1(h(q0), q1)");
+        assert_eq!(display[1], "cx_1(cx_2(h(q0), q1), q2)");
+        assert_eq!(display[2], "cx_2(cx_2(h(q0), q1), q2)");
+    }
+
+    #[test]
+    fn barriers_do_not_change_terms() {
+        let mut c = Circuit::new(2);
+        c.h(0).barrier_all().h(1);
+        let mut plain = Circuit::new(2);
+        plain.h(0).h(1);
+        let mut exec = SymbolicExecutor::new(2);
+        let a = exec.execute(&SymCircuit::from_circuit(&c));
+        let b = exec.execute(&SymCircuit::from_circuit(&plain));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conditioned_gates_get_distinct_functions() {
+        let mut exec = SymbolicExecutor::new(1);
+        let plain = Gate::new(GateKind::U1(0.5), vec![0]);
+        let conditioned = Gate::new(GateKind::U1(0.5), vec![0]).with_classical_condition(0, true);
+        let mut s1 = exec.initial_register();
+        let mut s2 = exec.initial_register();
+        exec.apply_gate(&plain, &mut s1);
+        exec.apply_gate(&conditioned, &mut s2);
+        assert_ne!(s1[0], s2[0]);
+        // The same conditioned gate twice produces the same term.
+        let mut s3 = exec.initial_register();
+        exec.apply_gate(&conditioned, &mut s3);
+        assert_eq!(s2[0], s3[0]);
+    }
+
+    #[test]
+    fn segments_respect_exclusions() {
+        let mut sym = SymCircuit::new(3);
+        sym.push_segment("C1", vec![0, 1]);
+        let mut exec = SymbolicExecutor::new(3);
+        let init = exec.initial_register();
+        let out = exec.execute(&sym);
+        // Qubits 0 and 1 are untouched; qubit 2 becomes an opaque application.
+        assert_eq!(out[0], init[0]);
+        assert_eq!(out[1], init[1]);
+        assert_ne!(out[2], init[2]);
+        let shown = exec.context().arena().display(out[2]);
+        assert!(shown.starts_with("seg_C1_2("), "{shown}");
+    }
+
+    #[test]
+    fn identical_segments_give_identical_terms() {
+        let mut a = SymCircuit::new(2);
+        a.push_segment("C", vec![]);
+        let mut b = SymCircuit::new(2);
+        b.push_segment("C", vec![]);
+        let mut exec = SymbolicExecutor::new(2);
+        let oa = exec.execute(&a);
+        let ob = exec.execute(&b);
+        assert_eq!(oa, ob);
+        // A differently named segment is unrelated.
+        let mut c = SymCircuit::new(2);
+        c.push_segment("D", vec![]);
+        let oc = exec.execute(&c);
+        assert_ne!(oa, oc);
+    }
+
+    #[test]
+    fn param_symbols_are_canonical() {
+        assert_eq!(param_symbol(0.5), param_symbol(0.5));
+        assert_ne!(param_symbol(0.5), param_symbol(0.25));
+    }
+}

@@ -1,0 +1,511 @@
+//! The library of circuit rewrite rules (Figure 7 of the paper).
+//!
+//! Every rule is derived from a small *circuit identity* — e.g. "two adjacent
+//! CNOTs on the same qubits are the identity", "a Z rotation on the control
+//! commutes with CNOT", "conjugating a CNOT with Hadamards reverses its
+//! direction".  The identity contributes one directed rewrite rule per output
+//! wire, so that rewriting every wire of the left-hand fragment yields exactly
+//! the wires of the right-hand fragment.
+//!
+//! The identities themselves are exported through [`rule_identities`] and are
+//! checked against the dense matrix semantics by [`crate::soundness`]; this
+//! replaces the paper's once-and-for-all Coq proofs.
+
+use qc_ir::{Circuit, GateKind};
+use serde::{Deserialize, Serialize};
+use smtlite::{Pattern, RewriteRule};
+
+/// The paper's classification of rewrite rules (§8, "Reusability").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RuleClass {
+    /// Adjacent self-inverse (or mutually inverse) gates cancel.
+    Cancellation,
+    /// Gates that commute may be reordered.
+    Commutation,
+    /// SWAP gates exchange their wires.
+    Swap,
+    /// CNOT direction reversal via Hadamard conjugation.
+    Direction,
+}
+
+/// A rewrite rule together with its class and the name of the circuit
+/// identity it was derived from.
+#[derive(Debug, Clone)]
+pub struct ClassifiedRule {
+    /// Which family the rule belongs to.
+    pub class: RuleClass,
+    /// Name of the underlying circuit identity (see [`rule_identities`]).
+    pub identity: String,
+    /// The directed rewrite rule itself.
+    pub rule: RewriteRule,
+}
+
+/// A circuit identity backing one or more rewrite rules.
+#[derive(Debug, Clone)]
+pub struct RuleIdentity {
+    /// Identity name, referenced by [`ClassifiedRule::identity`].
+    pub name: String,
+    /// Left-hand circuit.
+    pub lhs: Circuit,
+    /// Right-hand circuit.
+    pub rhs: Circuit,
+    /// When `Some(perm)`, the identity holds up to this output permutation
+    /// (only the SWAP-elimination identity uses this).
+    pub permutation: Option<Vec<usize>>,
+}
+
+fn v(name: &str) -> Pattern {
+    Pattern::var(name)
+}
+
+fn g1(name: &str, arg: Pattern) -> Pattern {
+    Pattern::app(name, vec![arg])
+}
+
+fn g1p(name: &str, param: &str, arg: Pattern) -> Pattern {
+    Pattern::app(name, vec![Pattern::var(param), arg])
+}
+
+fn g2(name: &str, k: usize, a: Pattern, b: Pattern) -> Pattern {
+    Pattern::app(&format!("{name}_{k}"), vec![a, b])
+}
+
+fn g3(name: &str, k: usize, a: Pattern, b: Pattern, c: Pattern) -> Pattern {
+    Pattern::app(&format!("{name}_{k}"), vec![a, b, c])
+}
+
+/// Diagonal 1-qubit gates without parameters (commute with a CNOT control
+/// and with either CZ wire).
+const DIAG_1Q: &[&str] = &["z", "s", "sdg", "t", "tdg"];
+/// Diagonal 1-qubit gates with one parameter.
+const DIAG_1Q_PARAM: &[&str] = &["rz", "u1", "p"];
+/// X-axis 1-qubit gates without parameters (commute with a CNOT target).
+const XAXIS_1Q: &[&str] = &["x", "sx", "sxdg"];
+/// X-axis 1-qubit gates with one parameter.
+const XAXIS_1Q_PARAM: &[&str] = &["rx"];
+/// Self-inverse 1-qubit gates.
+const SELF_INV_1Q: &[&str] = &["x", "y", "z", "h"];
+/// Mutually inverse 1-qubit gate pairs.
+const INV_PAIRS_1Q: &[(&str, &str)] = &[("s", "sdg"), ("t", "tdg"), ("sx", "sxdg")];
+/// Self-inverse 2-qubit gates (excluding SWAP, which has its own rules).
+const SELF_INV_2Q: &[&str] = &["cx", "cy", "cz", "ch"];
+
+/// Builds the full rewrite-rule library.
+pub fn circuit_rewrite_rules() -> Vec<ClassifiedRule> {
+    let mut rules = Vec::new();
+    let push = |rules: &mut Vec<ClassifiedRule>, class, identity: &str, rule| {
+        rules.push(ClassifiedRule { class, identity: identity.to_string(), rule });
+    };
+
+    // --- cancellation: 1-qubit -------------------------------------------
+    for &g in SELF_INV_1Q {
+        let identity = format!("cancel_{g}");
+        push(
+            &mut rules,
+            RuleClass::Cancellation,
+            &identity,
+            RewriteRule::new(&identity, g1(g, g1(g, v("q"))), v("q")),
+        );
+    }
+    push(
+        &mut rules,
+        RuleClass::Cancellation,
+        "cancel_id",
+        RewriteRule::new("cancel_id", g1("id", v("q")), v("q")),
+    );
+    for &(a, b) in INV_PAIRS_1Q {
+        let id_ab = format!("cancel_{a}_{b}");
+        push(
+            &mut rules,
+            RuleClass::Cancellation,
+            &id_ab,
+            RewriteRule::new(&id_ab, g1(a, g1(b, v("q"))), v("q")),
+        );
+        let id_ba = format!("cancel_{b}_{a}");
+        push(
+            &mut rules,
+            RuleClass::Cancellation,
+            &id_ba,
+            RewriteRule::new(&id_ba, g1(b, g1(a, v("q"))), v("q")),
+        );
+    }
+
+    // --- cancellation: 2-qubit -------------------------------------------
+    for &g in SELF_INV_2Q {
+        let identity = format!("cancel_{g}");
+        for k in 1..=2 {
+            let lhs = g2(g, k, g2(g, 1, v("a"), v("b")), g2(g, 2, v("a"), v("b")));
+            let rhs = if k == 1 { v("a") } else { v("b") };
+            push(
+                &mut rules,
+                RuleClass::Cancellation,
+                &identity,
+                RewriteRule::new(&format!("{identity}_{k}"), lhs, rhs),
+            );
+        }
+    }
+    // Toffoli cancellation.
+    for k in 1..=3 {
+        let lhs = g3(
+            "ccx",
+            k,
+            g3("ccx", 1, v("a"), v("b"), v("c")),
+            g3("ccx", 2, v("a"), v("b"), v("c")),
+            g3("ccx", 3, v("a"), v("b"), v("c")),
+        );
+        let rhs = [v("a"), v("b"), v("c")][k - 1].clone();
+        push(
+            &mut rules,
+            RuleClass::Cancellation,
+            "cancel_ccx",
+            RewriteRule::new(&format!("cancel_ccx_{k}"), lhs, rhs),
+        );
+    }
+
+    // --- swap rules --------------------------------------------------------
+    push(
+        &mut rules,
+        RuleClass::Swap,
+        "swap_wires",
+        RewriteRule::new("swap_1", g2("swap", 1, v("a"), v("b")), v("b")),
+    );
+    push(
+        &mut rules,
+        RuleClass::Swap,
+        "swap_wires",
+        RewriteRule::new("swap_2", g2("swap", 2, v("a"), v("b")), v("a")),
+    );
+
+    // --- commutation: diagonal gate on the CNOT control ---------------------
+    for &d in DIAG_1Q {
+        let identity = format!("commute_{d}_cx_control");
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_ctl"),
+                g2("cx", 1, g1(d, v("a")), v("b")),
+                g1(d, g2("cx", 1, v("a"), v("b"))),
+            ),
+        );
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_tgt"),
+                g2("cx", 2, g1(d, v("a")), v("b")),
+                g2("cx", 2, v("a"), v("b")),
+            ),
+        );
+    }
+    for &d in DIAG_1Q_PARAM {
+        let identity = format!("commute_{d}_cx_control");
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_ctl"),
+                g2("cx", 1, g1p(d, "p", v("a")), v("b")),
+                g1p(d, "p", g2("cx", 1, v("a"), v("b"))),
+            ),
+        );
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_tgt"),
+                g2("cx", 2, g1p(d, "p", v("a")), v("b")),
+                g2("cx", 2, v("a"), v("b")),
+            ),
+        );
+    }
+
+    // --- commutation: X-axis gate on the CNOT target ------------------------
+    for &x in XAXIS_1Q {
+        let identity = format!("commute_{x}_cx_target");
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_tgt"),
+                g2("cx", 2, v("a"), g1(x, v("b"))),
+                g1(x, g2("cx", 2, v("a"), v("b"))),
+            ),
+        );
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_ctl"),
+                g2("cx", 1, v("a"), g1(x, v("b"))),
+                g2("cx", 1, v("a"), v("b")),
+            ),
+        );
+    }
+    for &x in XAXIS_1Q_PARAM {
+        let identity = format!("commute_{x}_cx_target");
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_tgt"),
+                g2("cx", 2, v("a"), g1p(x, "p", v("b"))),
+                g1p(x, "p", g2("cx", 2, v("a"), v("b"))),
+            ),
+        );
+        push(
+            &mut rules,
+            RuleClass::Commutation,
+            &identity,
+            RewriteRule::new(
+                &format!("{identity}_ctl"),
+                g2("cx", 1, v("a"), g1p(x, "p", v("b"))),
+                g2("cx", 1, v("a"), v("b")),
+            ),
+        );
+    }
+
+    // --- commutation: diagonal gates on either CZ wire ----------------------
+    for &d in &["z", "s", "t"] {
+        for side in 1..=2 {
+            let identity = format!("commute_{d}_cz_{side}");
+            let (in1, in2) = if side == 1 {
+                (g1(d, v("a")), v("b"))
+            } else {
+                (v("a"), g1(d, v("b")))
+            };
+            for k in 1..=2 {
+                let lhs = g2("cz", k, in1.clone(), in2.clone());
+                let rhs = if k == side {
+                    g1(d, g2("cz", k, v("a"), v("b")))
+                } else {
+                    g2("cz", k, v("a"), v("b"))
+                };
+                push(
+                    &mut rules,
+                    RuleClass::Commutation,
+                    &identity,
+                    RewriteRule::new(&format!("{identity}_{k}"), lhs, rhs),
+                );
+            }
+        }
+    }
+    for &d in &["u1", "rz"] {
+        for side in 1..=2 {
+            let identity = format!("commute_{d}_cz_{side}");
+            let (in1, in2) = if side == 1 {
+                (g1p(d, "p", v("a")), v("b"))
+            } else {
+                (v("a"), g1p(d, "p", v("b")))
+            };
+            for k in 1..=2 {
+                let lhs = g2("cz", k, in1.clone(), in2.clone());
+                let rhs = if k == side {
+                    g1p(d, "p", g2("cz", k, v("a"), v("b")))
+                } else {
+                    g2("cz", k, v("a"), v("b"))
+                };
+                push(
+                    &mut rules,
+                    RuleClass::Commutation,
+                    &identity,
+                    RewriteRule::new(&format!("{identity}_{k}"), lhs, rhs),
+                );
+            }
+        }
+    }
+
+    // --- CNOT direction reversal --------------------------------------------
+    // h⊗h ; cx(b,a) ; h⊗h  ≡  cx(a,b)
+    push(
+        &mut rules,
+        RuleClass::Direction,
+        "cx_direction",
+        RewriteRule::new(
+            "cx_direction_ctl",
+            g1("h", g2("cx", 2, g1("h", v("b")), g1("h", v("a")))),
+            g2("cx", 1, v("a"), v("b")),
+        ),
+    );
+    push(
+        &mut rules,
+        RuleClass::Direction,
+        "cx_direction",
+        RewriteRule::new(
+            "cx_direction_tgt",
+            g1("h", g2("cx", 1, g1("h", v("b")), g1("h", v("a")))),
+            g2("cx", 2, v("a"), v("b")),
+        ),
+    );
+
+    rules
+}
+
+/// The circuit identities backing the rewrite rules, used by the soundness
+/// checker (`crate::soundness`) to validate every rule against the dense
+/// matrix semantics.
+pub fn rule_identities() -> Vec<RuleIdentity> {
+    let mut identities: Vec<RuleIdentity> = Vec::new();
+    fn add(identities: &mut Vec<RuleIdentity>, name: &str, lhs: Circuit, rhs: Circuit) {
+        identities.push(RuleIdentity { name: name.to_string(), lhs, rhs, permutation: None });
+    }
+
+    let kind_of = |name: &str| -> GateKind {
+        GateKind::from_name(name, &[]).expect("known unparameterised gate")
+    };
+    let kind_of_param = |name: &str| -> GateKind {
+        GateKind::from_name(name, &[0.37]).expect("known parameterised gate")
+    };
+
+    // 1-qubit cancellations.
+    for &g in SELF_INV_1Q {
+        let mut lhs = Circuit::new(1);
+        lhs.add(kind_of(g), &[0]).add(kind_of(g), &[0]);
+        add(&mut identities, &format!("cancel_{g}"), lhs, Circuit::new(1));
+    }
+    {
+        let mut lhs = Circuit::new(1);
+        lhs.add(GateKind::I, &[0]);
+        add(&mut identities, "cancel_id", lhs, Circuit::new(1));
+    }
+    for &(a, b) in INV_PAIRS_1Q {
+        // Rule `a(b(q)) -> q` corresponds to applying b first, then a.
+        let mut lhs = Circuit::new(1);
+        lhs.add(kind_of(b), &[0]).add(kind_of(a), &[0]);
+        add(&mut identities, &format!("cancel_{a}_{b}"), lhs, Circuit::new(1));
+        let mut lhs = Circuit::new(1);
+        lhs.add(kind_of(a), &[0]).add(kind_of(b), &[0]);
+        add(&mut identities, &format!("cancel_{b}_{a}"), lhs, Circuit::new(1));
+    }
+
+    // 2-qubit cancellations.
+    for &g in SELF_INV_2Q {
+        let mut lhs = Circuit::new(2);
+        lhs.add(kind_of(g), &[0, 1]).add(kind_of(g), &[0, 1]);
+        add(&mut identities, &format!("cancel_{g}"), lhs, Circuit::new(2));
+    }
+    {
+        let mut lhs = Circuit::new(3);
+        lhs.ccx(0, 1, 2).ccx(0, 1, 2);
+        add(&mut identities, "cancel_ccx", lhs, Circuit::new(3));
+    }
+
+    // SWAP wire exchange: SWAP ≡ identity up to the permutation (0 1).
+    {
+        let mut lhs = Circuit::new(2);
+        lhs.swap(0, 1);
+        identities.push(RuleIdentity {
+            name: "swap_wires".to_string(),
+            lhs,
+            rhs: Circuit::new(2),
+            permutation: Some(vec![1, 0]),
+        });
+    }
+
+    // Commutation identities with CX.
+    for &d in DIAG_1Q {
+        let mut lhs = Circuit::new(2);
+        lhs.add(kind_of(d), &[0]).cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.cx(0, 1).add(kind_of(d), &[0]);
+        add(&mut identities, &format!("commute_{d}_cx_control"), lhs, rhs);
+    }
+    for &d in DIAG_1Q_PARAM {
+        let mut lhs = Circuit::new(2);
+        lhs.add(kind_of_param(d), &[0]).cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.cx(0, 1).add(kind_of_param(d), &[0]);
+        add(&mut identities, &format!("commute_{d}_cx_control"), lhs, rhs);
+    }
+    for &x in XAXIS_1Q {
+        let mut lhs = Circuit::new(2);
+        lhs.add(kind_of(x), &[1]).cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.cx(0, 1).add(kind_of(x), &[1]);
+        add(&mut identities, &format!("commute_{x}_cx_target"), lhs, rhs);
+    }
+    for &x in XAXIS_1Q_PARAM {
+        let mut lhs = Circuit::new(2);
+        lhs.add(kind_of_param(x), &[1]).cx(0, 1);
+        let mut rhs = Circuit::new(2);
+        rhs.cx(0, 1).add(kind_of_param(x), &[1]);
+        add(&mut identities, &format!("commute_{x}_cx_target"), lhs, rhs);
+    }
+
+    // Commutation identities with CZ (either side).
+    for &d in &["z", "s", "t"] {
+        for side in 0..2usize {
+            let mut lhs = Circuit::new(2);
+            lhs.add(kind_of(d), &[side]).cz(0, 1);
+            let mut rhs = Circuit::new(2);
+            rhs.cz(0, 1).add(kind_of(d), &[side]);
+            add(&mut identities, &format!("commute_{d}_cz_{}", side + 1), lhs, rhs);
+        }
+    }
+    for &d in &["u1", "rz"] {
+        for side in 0..2usize {
+            let mut lhs = Circuit::new(2);
+            lhs.add(kind_of_param(d), &[side]).cz(0, 1);
+            let mut rhs = Circuit::new(2);
+            rhs.cz(0, 1).add(kind_of_param(d), &[side]);
+            add(&mut identities, &format!("commute_{d}_cz_{}", side + 1), lhs, rhs);
+        }
+    }
+
+    // CNOT direction reversal.
+    {
+        let mut lhs = Circuit::new(2);
+        lhs.h(0).h(1).cx(1, 0).h(0).h(1);
+        let mut rhs = Circuit::new(2);
+        rhs.cx(0, 1);
+        add(&mut identities, "cx_direction", lhs, rhs);
+    }
+
+    identities
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn every_rule_references_an_identity() {
+        let identity_names: BTreeSet<String> =
+            rule_identities().into_iter().map(|i| i.name).collect();
+        for rule in circuit_rewrite_rules() {
+            assert!(
+                identity_names.contains(&rule.identity),
+                "rule `{}` references unknown identity `{}`",
+                rule.rule.name,
+                rule.identity
+            );
+        }
+    }
+
+    #[test]
+    fn rule_names_are_unique() {
+        let rules = circuit_rewrite_rules();
+        let names: BTreeSet<&str> = rules.iter().map(|r| r.rule.name.as_str()).collect();
+        assert_eq!(names.len(), rules.len());
+    }
+
+    #[test]
+    fn library_covers_the_paper_rule_classes() {
+        let rules = circuit_rewrite_rules();
+        let classes: BTreeSet<RuleClass> = rules.iter().map(|r| r.class).collect();
+        assert!(classes.contains(&RuleClass::Cancellation));
+        assert!(classes.contains(&RuleClass::Commutation));
+        assert!(classes.contains(&RuleClass::Swap));
+        assert!(classes.contains(&RuleClass::Direction));
+        // The paper ships ~20 rules; our finer-grained library is larger.
+        assert!(rules.len() >= 20, "expected at least 20 rules, got {}", rules.len());
+    }
+}

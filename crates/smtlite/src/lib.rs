@@ -1,0 +1,47 @@
+//! # smtlite — a lightweight SMT-style solver
+//!
+//! The Giallar paper discharges its proof obligations with Z3.  Giallar's
+//! obligations live in a small, decidable fragment: ground equalities over
+//! uninterpreted functions (the symbolic qubit functions `app1q`/`app2q`),
+//! universally quantified rewrite axioms that are only ever used as directed
+//! rewrites, and small linear facts over integers (list lengths, indices,
+//! termination measures).  `smtlite` implements exactly that fragment:
+//!
+//! * [`TermArena`] — hash-consed first-order terms,
+//! * [`RewriteRule`] / [`Rewriter`] — directed rewriting to a normal form,
+//! * [`CongruenceClosure`] — ground equality reasoning,
+//! * [`Context`] — an `assume`/`check` interface in the style of Z3Py
+//!   (§2.4 of the paper) returning [`Verdict`]s with counterexample
+//!   explanations on failure.
+//!
+//! # Example
+//!
+//! ```
+//! use smtlite::{Context, Pattern, RewriteRule};
+//!
+//! let mut ctx = Context::new();
+//! // ∀q. h(h(q)) = q, used as a directed rewrite (a cancellation axiom).
+//! let rule = RewriteRule::new(
+//!     "h_cancel",
+//!     Pattern::app("h", vec![Pattern::app("h", vec![Pattern::var("q")])]),
+//!     Pattern::var("q"),
+//! );
+//! ctx.add_rule(rule);
+//! let q0 = ctx.arena_mut().symbol("q0");
+//! let h1 = ctx.arena_mut().app("h", vec![q0]);
+//! let h2 = ctx.arena_mut().app("h", vec![h1]);
+//! assert!(ctx.check_eq(h2, q0).is_proved());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congruence;
+pub mod rewrite;
+pub mod solver;
+pub mod term;
+
+pub use congruence::CongruenceClosure;
+pub use rewrite::{Pattern, RewriteRule, Rewriter};
+pub use solver::{Context, Formula, Verdict};
+pub use term::{TermArena, TermData, TermId};

@@ -1,0 +1,390 @@
+//! Directed rewriting with pattern variables.
+//!
+//! Giallar's quantum-circuit rewrite rules (Figure 7 of the paper) are
+//! universally quantified equalities over the symbolic functions
+//! `app1q`/`app2q`.  They are only ever needed in one direction — to reduce
+//! a term towards a normal form — so this module implements them as directed
+//! rewrite rules applied bottom-up until a fixpoint (with a step budget to
+//! guarantee termination even for badly oriented rule sets).
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::term::{TermArena, TermData, TermId};
+
+/// A pattern: a term with named holes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Pattern {
+    /// A pattern variable that matches any term.
+    Var(String),
+    /// An integer literal that matches only itself.
+    Int(i64),
+    /// A function application whose arguments are matched recursively.
+    App(String, Vec<Pattern>),
+}
+
+impl Pattern {
+    /// A pattern variable.
+    pub fn var(name: &str) -> Pattern {
+        Pattern::Var(name.to_string())
+    }
+
+    /// An integer literal pattern.
+    pub fn int(value: i64) -> Pattern {
+        Pattern::Int(value)
+    }
+
+    /// A function application pattern.
+    pub fn app(func: &str, args: Vec<Pattern>) -> Pattern {
+        Pattern::App(func.to_string(), args)
+    }
+
+    /// A nullary function application (a named constant).
+    pub fn constant(func: &str) -> Pattern {
+        Pattern::App(func.to_string(), Vec::new())
+    }
+
+    /// Attempts to match the pattern against a term, extending `bindings`.
+    fn matches(
+        &self,
+        term: TermId,
+        arena: &TermArena,
+        bindings: &mut HashMap<String, TermId>,
+    ) -> bool {
+        match self {
+            Pattern::Var(name) => match bindings.get(name) {
+                Some(&bound) => bound == term,
+                None => {
+                    bindings.insert(name.clone(), term);
+                    true
+                }
+            },
+            Pattern::Int(v) => arena.as_int(term) == Some(*v),
+            Pattern::App(func, args) => match arena.data(term) {
+                TermData::App(f, term_args) if f == func && term_args.len() == args.len() => {
+                    let term_args = term_args.clone();
+                    args.iter()
+                        .zip(term_args.iter())
+                        .all(|(p, &t)| p.matches(t, arena, bindings))
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Instantiates the pattern under a set of bindings.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pattern contains a variable missing from `bindings`
+    /// (rewrite rules must not invent variables on the right-hand side).
+    fn instantiate(&self, arena: &mut TermArena, bindings: &HashMap<String, TermId>) -> TermId {
+        match self {
+            Pattern::Var(name) => *bindings
+                .get(name)
+                .unwrap_or_else(|| panic!("unbound pattern variable `{name}`")),
+            Pattern::Int(v) => arena.int(*v),
+            Pattern::App(func, args) => {
+                let ids: Vec<TermId> =
+                    args.iter().map(|p| p.instantiate(arena, bindings)).collect();
+                arena.app(func, ids)
+            }
+        }
+    }
+
+    /// The variables appearing in the pattern.
+    pub fn variables(&self) -> Vec<String> {
+        match self {
+            Pattern::Var(name) => vec![name.clone()],
+            Pattern::Int(_) => vec![],
+            Pattern::App(_, args) => {
+                let mut out = Vec::new();
+                for arg in args {
+                    out.extend(arg.variables());
+                }
+                out.sort();
+                out.dedup();
+                out
+            }
+        }
+    }
+}
+
+/// A named, directed rewrite rule `lhs → rhs`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RewriteRule {
+    /// Human-readable rule name (reported in verification traces).
+    pub name: String,
+    /// The pattern to match.
+    pub lhs: Pattern,
+    /// The replacement.
+    pub rhs: Pattern,
+}
+
+impl RewriteRule {
+    /// Creates a rule, checking that the right-hand side introduces no fresh
+    /// variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rhs` mentions a variable not bound by `lhs`.
+    pub fn new(name: &str, lhs: Pattern, rhs: Pattern) -> Self {
+        let lhs_vars = lhs.variables();
+        for v in rhs.variables() {
+            assert!(
+                lhs_vars.contains(&v),
+                "rewrite rule `{name}` uses unbound variable `{v}` on the right-hand side"
+            );
+        }
+        RewriteRule { name: name.to_string(), lhs, rhs }
+    }
+}
+
+/// Applies a set of rewrite rules bottom-up until a fixpoint.
+#[derive(Debug, Clone, Default)]
+pub struct Rewriter {
+    rules: Vec<RewriteRule>,
+    /// Total number of rule applications performed (for reporting).
+    applications: usize,
+}
+
+/// Budget on rewriting steps per normalisation call; generous compared to
+/// any term produced by the verifier, but keeps pathological rule sets from
+/// looping forever.
+const MAX_STEPS: usize = 100_000;
+
+impl Rewriter {
+    /// Creates a rewriter with no rules.
+    pub fn new() -> Self {
+        Rewriter::default()
+    }
+
+    /// Adds a rule.
+    pub fn add_rule(&mut self, rule: RewriteRule) {
+        self.rules.push(rule);
+    }
+
+    /// The rules currently installed.
+    pub fn rules(&self) -> &[RewriteRule] {
+        &self.rules
+    }
+
+    /// Number of successful rule applications performed so far.
+    pub fn applications(&self) -> usize {
+        self.applications
+    }
+
+    /// Normalises a term: rewrites innermost-first, repeatedly, until no rule
+    /// applies anywhere or the step budget is exhausted.
+    pub fn normalize(&mut self, arena: &mut TermArena, term: TermId) -> TermId {
+        let mut steps = 0usize;
+        let mut cache: HashMap<TermId, TermId> = HashMap::new();
+        self.normalize_inner(arena, term, &mut steps, &mut cache)
+    }
+
+    fn normalize_inner(
+        &mut self,
+        arena: &mut TermArena,
+        term: TermId,
+        steps: &mut usize,
+        cache: &mut HashMap<TermId, TermId>,
+    ) -> TermId {
+        if let Some(&cached) = cache.get(&term) {
+            return cached;
+        }
+        let mut current = term;
+        loop {
+            if *steps > MAX_STEPS {
+                return current;
+            }
+            // First normalise children.
+            let rebuilt = match arena.data(current).clone() {
+                TermData::App(func, args) => {
+                    let new_args: Vec<TermId> = args
+                        .iter()
+                        .map(|&a| self.normalize_inner(arena, a, steps, cache))
+                        .collect();
+                    if new_args == args {
+                        current
+                    } else {
+                        arena.app(&func, new_args)
+                    }
+                }
+                _ => current,
+            };
+            current = rebuilt;
+            // Constant-fold built-in integer arithmetic.
+            if let Some(folded) = fold_arithmetic(arena, current) {
+                if folded != current {
+                    current = folded;
+                    *steps += 1;
+                    continue;
+                }
+            }
+            // Then try the rules at the root.
+            let mut changed = false;
+            for rule_idx in 0..self.rules.len() {
+                let mut bindings = HashMap::new();
+                let matched = {
+                    let rule = &self.rules[rule_idx];
+                    rule.lhs.matches(current, arena, &mut bindings)
+                };
+                if matched {
+                    let rhs = self.rules[rule_idx].rhs.clone();
+                    let next = rhs.instantiate(arena, &bindings);
+                    if next != current {
+                        current = next;
+                        changed = true;
+                        self.applications += 1;
+                        *steps += 1;
+                        break;
+                    }
+                }
+            }
+            if !changed {
+                cache.insert(term, current);
+                return current;
+            }
+        }
+    }
+}
+
+/// Constant-folds the built-in integer functions `+`, `-`, `*` when both
+/// arguments are literals.
+fn fold_arithmetic(arena: &mut TermArena, term: TermId) -> Option<TermId> {
+    let (func, args) = match arena.data(term) {
+        TermData::App(f, args) if args.len() == 2 => (f.clone(), args.clone()),
+        _ => return None,
+    };
+    let a = arena.as_int(args[0])?;
+    let b = arena.as_int(args[1])?;
+    let value = match func.as_str() {
+        "+" => a.checked_add(b)?,
+        "-" => a.checked_sub(b)?,
+        "*" => a.checked_mul(b)?,
+        _ => return None,
+    };
+    Some(arena.int(value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_h_rule() -> RewriteRule {
+        RewriteRule::new(
+            "h_cancel",
+            Pattern::app("h", vec![Pattern::app("h", vec![Pattern::var("q")])]),
+            Pattern::var("q"),
+        )
+    }
+
+    #[test]
+    fn simple_cancellation() {
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        rw.add_rule(double_h_rule());
+        let q = arena.symbol("q0");
+        let h1 = arena.app("h", vec![q]);
+        let h2 = arena.app("h", vec![h1]);
+        assert_eq!(rw.normalize(&mut arena, h2), q);
+        // A single h is already normal.
+        assert_eq!(rw.normalize(&mut arena, h1), h1);
+        assert!(rw.applications() >= 1);
+    }
+
+    #[test]
+    fn nested_cancellation_requires_repeated_passes() {
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        rw.add_rule(double_h_rule());
+        let q = arena.symbol("q0");
+        // h(h(h(h(q)))) -> q
+        let mut t = q;
+        for _ in 0..4 {
+            t = arena.app("h", vec![t]);
+        }
+        assert_eq!(rw.normalize(&mut arena, t), q);
+    }
+
+    #[test]
+    fn rewriting_happens_under_other_functions() {
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        rw.add_rule(double_h_rule());
+        let q = arena.symbol("q0");
+        let hh = {
+            let h1 = arena.app("h", vec![q]);
+            arena.app("h", vec![h1])
+        };
+        let wrapped = arena.app("cx_ctl", vec![hh, q]);
+        let expected = arena.app("cx_ctl", vec![q, q]);
+        assert_eq!(rw.normalize(&mut arena, wrapped), expected);
+    }
+
+    #[test]
+    fn linear_variable_patterns_bind_consistently() {
+        // f(x, x) -> x must not match f(a, b).
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        rw.add_rule(RewriteRule::new(
+            "idem",
+            Pattern::app("f", vec![Pattern::var("x"), Pattern::var("x")]),
+            Pattern::var("x"),
+        ));
+        let a = arena.symbol("a");
+        let b = arena.symbol("b");
+        let faa = arena.app("f", vec![a, a]);
+        let fab = arena.app("f", vec![a, b]);
+        assert_eq!(rw.normalize(&mut arena, faa), a);
+        assert_eq!(rw.normalize(&mut arena, fab), fab);
+    }
+
+    #[test]
+    fn integer_folding() {
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        let one = arena.int(1);
+        let two = arena.int(2);
+        let sum = arena.app("+", vec![one, two]);
+        let three = arena.int(3);
+        assert_eq!(rw.normalize(&mut arena, sum), three);
+        // Nested: (1 + 2) - 4 = -1
+        let four = arena.int(4);
+        let nested = arena.app("-", vec![sum, four]);
+        let minus_one = arena.int(-1);
+        assert_eq!(rw.normalize(&mut arena, nested), minus_one);
+    }
+
+    #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn rhs_with_fresh_variable_is_rejected() {
+        let _ = RewriteRule::new("bad", Pattern::var("x"), Pattern::var("y"));
+    }
+
+    #[test]
+    fn int_patterns_match_literals_only() {
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        // swap_out(k=1, a, b) -> b ; swap_out(k=2, a, b) -> a
+        rw.add_rule(RewriteRule::new(
+            "swap1",
+            Pattern::app("swap_out", vec![Pattern::int(1), Pattern::var("a"), Pattern::var("b")]),
+            Pattern::var("b"),
+        ));
+        rw.add_rule(RewriteRule::new(
+            "swap2",
+            Pattern::app("swap_out", vec![Pattern::int(2), Pattern::var("a"), Pattern::var("b")]),
+            Pattern::var("a"),
+        ));
+        let a = arena.symbol("a");
+        let b = arena.symbol("b");
+        let one = arena.int(1);
+        let two = arena.int(2);
+        let s1 = arena.app("swap_out", vec![one, a, b]);
+        let s2 = arena.app("swap_out", vec![two, a, b]);
+        assert_eq!(rw.normalize(&mut arena, s1), b);
+        assert_eq!(rw.normalize(&mut arena, s2), a);
+    }
+}

@@ -1,0 +1,508 @@
+//! The `assume` / `check` solver context, mirroring the Z3Py workflow that
+//! Giallar builds on (§2.4 of the paper).
+//!
+//! A [`Context`] owns a term arena, a set of directed rewrite axioms, and a
+//! list of assumptions.  `check_*` queries normalise the involved terms with
+//! the rewrite axioms, build a congruence closure from the (normalised)
+//! assumed equalities, and decide the query.  Failed equality checks return a
+//! [`Verdict::Refuted`] carrying the two distinct normal forms — in the free
+//! term algebra these *are* a counterexample, and the Giallar verifier turns
+//! them into a concrete circuit pair for the user.
+
+use serde::{Deserialize, Serialize};
+
+use crate::congruence::CongruenceClosure;
+use crate::rewrite::{RewriteRule, Rewriter};
+use crate::term::{TermArena, TermId};
+
+/// A quantifier-free formula over interned terms.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Formula {
+    /// Equality of two terms.
+    Eq(TermId, TermId),
+    /// Disequality of two terms.
+    Ne(TermId, TermId),
+    /// Strictly-less-than over integer-valued terms.
+    Lt(TermId, TermId),
+    /// Less-than-or-equal over integer-valued terms.
+    Le(TermId, TermId),
+    /// A propositional constant.
+    Bool(bool),
+    /// Negation.
+    Not(Box<Formula>),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Implication.
+    Implies(Box<Formula>, Box<Formula>),
+}
+
+/// The result of a `check` query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The goal holds under the assumptions and rewrite axioms.
+    Proved,
+    /// The goal fails; the explanation names the distinct normal forms or the
+    /// violated arithmetic fact.
+    Refuted {
+        /// Human-readable explanation / counterexample description.
+        explanation: String,
+    },
+    /// The fragment cannot decide the goal (e.g. symbolic arithmetic).
+    Unknown {
+        /// Why the solver gave up.
+        reason: String,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Proved`].
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Verdict::Proved)
+    }
+
+    /// Returns `true` for [`Verdict::Refuted`].
+    pub fn is_refuted(&self) -> bool {
+        matches!(self, Verdict::Refuted { .. })
+    }
+}
+
+/// Statistics describing the work done by a context (reported in Table 2).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Number of `check_*` queries answered.
+    pub checks: usize,
+    /// Number of rewrite-rule applications performed.
+    pub rewrite_steps: usize,
+    /// Number of equalities asserted into congruence closures.
+    pub asserted_equalities: usize,
+}
+
+/// An `assume`/`check` solver context.
+#[derive(Debug, Default)]
+pub struct Context {
+    arena: TermArena,
+    rewriter: Rewriter,
+    assumptions: Vec<Formula>,
+    scopes: Vec<usize>,
+    stats: SolverStats,
+}
+
+impl Context {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// Mutable access to the term arena (used to build terms).
+    pub fn arena_mut(&mut self) -> &mut TermArena {
+        &mut self.arena
+    }
+
+    /// Read-only access to the term arena.
+    pub fn arena(&self) -> &TermArena {
+        &self.arena
+    }
+
+    /// Installs a rewrite axiom.
+    pub fn add_rule(&mut self, rule: RewriteRule) {
+        self.rewriter.add_rule(rule);
+    }
+
+    /// Number of installed rewrite axioms.
+    pub fn num_rules(&self) -> usize {
+        self.rewriter.rules().len()
+    }
+
+    /// Adds an assumption (Z3Py's `assume`).
+    pub fn assume(&mut self, formula: Formula) {
+        self.assumptions.push(formula);
+    }
+
+    /// Convenience: assumes an equality between two terms.
+    pub fn assume_eq(&mut self, a: TermId, b: TermId) {
+        self.assume(Formula::Eq(a, b));
+    }
+
+    /// Pushes an assumption scope (Z3Py's `assertion.push()`).
+    pub fn push(&mut self) {
+        self.scopes.push(self.assumptions.len());
+    }
+
+    /// Pops the most recent assumption scope, discarding assumptions made
+    /// inside it.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no scope is open.
+    pub fn pop(&mut self) {
+        let mark = self.scopes.pop().expect("pop without matching push");
+        self.assumptions.truncate(mark);
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> SolverStats {
+        let mut stats = self.stats;
+        stats.rewrite_steps = self.rewriter.applications();
+        stats
+    }
+
+    /// Current number of assumptions.
+    pub fn num_assumptions(&self) -> usize {
+        self.assumptions.len()
+    }
+
+    /// Normalises a term with the installed rewrite axioms.
+    pub fn normalize(&mut self, term: TermId) -> TermId {
+        self.rewriter.normalize(&mut self.arena, term)
+    }
+
+    /// Checks an equality goal (Z3Py's `assert(lhs == rhs)`).
+    pub fn check_eq(&mut self, lhs: TermId, rhs: TermId) -> Verdict {
+        self.check(&Formula::Eq(lhs, rhs))
+    }
+
+    /// Checks a formula under the current assumptions.
+    pub fn check(&mut self, goal: &Formula) -> Verdict {
+        self.stats.checks += 1;
+        let assumptions = self.assumptions.clone();
+        // Build a congruence closure from the assumed equalities (normalised).
+        let mut cc = CongruenceClosure::new();
+        let mut arithmetic_facts: Vec<Formula> = Vec::new();
+        for assumption in &assumptions {
+            match assumption {
+                Formula::Eq(a, b) => {
+                    let na = self.normalize(*a);
+                    let nb = self.normalize(*b);
+                    cc.assert_eq(na, nb);
+                    self.stats.asserted_equalities += 1;
+                }
+                Formula::And(parts) => {
+                    for part in parts {
+                        if let Formula::Eq(a, b) = part {
+                            let na = self.normalize(*a);
+                            let nb = self.normalize(*b);
+                            cc.assert_eq(na, nb);
+                            self.stats.asserted_equalities += 1;
+                        } else {
+                            arithmetic_facts.push(part.clone());
+                        }
+                    }
+                }
+                other => arithmetic_facts.push(other.clone()),
+            }
+        }
+        self.eval(goal, &mut cc, &arithmetic_facts)
+    }
+
+    fn eval(
+        &mut self,
+        goal: &Formula,
+        cc: &mut CongruenceClosure,
+        facts: &[Formula],
+    ) -> Verdict {
+        match goal {
+            Formula::Bool(true) => Verdict::Proved,
+            Formula::Bool(false) => {
+                Verdict::Refuted { explanation: "goal is literally false".to_string() }
+            }
+            Formula::Eq(a, b) => {
+                let na = self.normalize(*a);
+                let nb = self.normalize(*b);
+                if na == nb {
+                    return Verdict::Proved;
+                }
+                cc.propagate(&self.arena);
+                if cc.equal(na, nb) {
+                    Verdict::Proved
+                } else {
+                    Verdict::Refuted {
+                        explanation: format!(
+                            "terms have distinct normal forms: `{}` vs `{}`",
+                            self.arena.display(na),
+                            self.arena.display(nb)
+                        ),
+                    }
+                }
+            }
+            Formula::Ne(a, b) => match self.eval(&Formula::Eq(*a, *b), cc, facts) {
+                Verdict::Proved => Verdict::Refuted {
+                    explanation: "terms are provably equal but were required distinct".to_string(),
+                },
+                Verdict::Refuted { .. } => Verdict::Proved,
+                unknown => unknown,
+            },
+            Formula::Lt(a, b) | Formula::Le(a, b) => {
+                let strict = matches!(goal, Formula::Lt(_, _));
+                let na = self.normalize(*a);
+                let nb = self.normalize(*b);
+                match (self.arena.as_int(na), self.arena.as_int(nb)) {
+                    (Some(va), Some(vb)) => {
+                        let holds = if strict { va < vb } else { va <= vb };
+                        if holds {
+                            Verdict::Proved
+                        } else {
+                            Verdict::Refuted {
+                                explanation: format!(
+                                    "arithmetic goal fails: {va} {} {vb} is false",
+                                    if strict { "<" } else { "<=" }
+                                ),
+                            }
+                        }
+                    }
+                    _ => self.difference_check(na, nb, strict, facts),
+                }
+            }
+            Formula::Not(inner) => match self.eval(inner, cc, facts) {
+                Verdict::Proved => Verdict::Refuted {
+                    explanation: "negated goal is provable".to_string(),
+                },
+                Verdict::Refuted { .. } => Verdict::Proved,
+                unknown => unknown,
+            },
+            Formula::And(parts) => {
+                for part in parts {
+                    match self.eval(part, cc, facts) {
+                        Verdict::Proved => continue,
+                        other => return other,
+                    }
+                }
+                Verdict::Proved
+            }
+            Formula::Implies(lhs, rhs) => {
+                // Assume the antecedent's equalities, then check the consequent.
+                let mut cc2 = cc.clone();
+                let mut extra_facts = facts.to_vec();
+                collect_equalities(lhs, &mut |a, b| {
+                    let na = self.rewriter.normalize(&mut self.arena, a);
+                    let nb = self.rewriter.normalize(&mut self.arena, b);
+                    cc2.assert_eq(na, nb);
+                });
+                extra_facts.push((**lhs).clone());
+                self.eval(rhs, &mut cc2, &extra_facts)
+            }
+        }
+    }
+
+    /// A tiny difference-logic check: proves `len(x) + c1 < len(x) + c2` style
+    /// goals where both sides share the same symbolic base and differ only by
+    /// literal offsets expressed with the built-in `+`/`-` functions, or where
+    /// an assumed `Lt`/`Le` fact directly matches the goal.
+    fn difference_check(
+        &mut self,
+        a: TermId,
+        b: TermId,
+        strict: bool,
+        facts: &[Formula],
+    ) -> Verdict {
+        if let (Some((base_a, off_a)), Some((base_b, off_b))) =
+            (self.base_offset(a), self.base_offset(b))
+        {
+            if base_a == base_b {
+                let holds = if strict { off_a < off_b } else { off_a <= off_b };
+                return if holds {
+                    Verdict::Proved
+                } else {
+                    Verdict::Refuted {
+                        explanation: format!(
+                            "offsets violate the goal: {off_a} vs {off_b} relative to `{}`",
+                            self.arena.display(base_a)
+                        ),
+                    }
+                };
+            }
+        }
+        // Fall back to directly assumed facts.
+        for fact in facts {
+            match fact {
+                Formula::Lt(x, y) => {
+                    let nx = self.normalize(*x);
+                    let ny = self.normalize(*y);
+                    if nx == a && ny == b {
+                        return Verdict::Proved;
+                    }
+                }
+                Formula::Le(x, y) if !strict => {
+                    let nx = self.normalize(*x);
+                    let ny = self.normalize(*y);
+                    if nx == a && ny == b {
+                        return Verdict::Proved;
+                    }
+                }
+                _ => {}
+            }
+        }
+        Verdict::Unknown {
+            reason: format!(
+                "cannot compare `{}` and `{}` in the supported arithmetic fragment",
+                self.arena.display(a),
+                self.arena.display(b)
+            ),
+        }
+    }
+
+    /// Decomposes `base + literal` / `base - literal` terms.
+    fn base_offset(&self, term: TermId) -> Option<(TermId, i64)> {
+        use crate::term::TermData;
+        match self.arena.data(term) {
+            TermData::Int(_) => Some((term, 0)),
+            TermData::App(f, args) if args.len() == 2 && (f == "+" || f == "-") => {
+                let offset = self.arena.as_int(args[1])?;
+                let signed = if f == "+" { offset } else { -offset };
+                let (base, inner_off) = self.base_offset(args[0]).unwrap_or((args[0], 0));
+                Some((base, inner_off + signed))
+            }
+            _ => Some((term, 0)),
+        }
+    }
+}
+
+/// Invokes `f` on every equality literal in the formula.
+fn collect_equalities(formula: &Formula, f: &mut impl FnMut(TermId, TermId)) {
+    match formula {
+        Formula::Eq(a, b) => f(*a, *b),
+        Formula::And(parts) => {
+            for part in parts {
+                collect_equalities(part, f);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rewrite::Pattern;
+
+    #[test]
+    fn assumed_equalities_propagate_through_functions() {
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("a");
+        let b = ctx.arena_mut().symbol("b");
+        let fa = ctx.arena_mut().app("f", vec![a]);
+        let fb = ctx.arena_mut().app("f", vec![b]);
+        ctx.assume_eq(a, b);
+        assert!(ctx.check_eq(fa, fb).is_proved());
+        let c = ctx.arena_mut().symbol("c");
+        let fc = ctx.arena_mut().app("f", vec![c]);
+        assert!(ctx.check_eq(fa, fc).is_refuted());
+    }
+
+    #[test]
+    fn rewrite_axioms_close_the_gap() {
+        let mut ctx = Context::new();
+        ctx.add_rule(RewriteRule::new(
+            "cx_cancel",
+            Pattern::app("cx", vec![Pattern::app("cx", vec![Pattern::var("q")])]),
+            Pattern::var("q"),
+        ));
+        let q = ctx.arena_mut().symbol("q");
+        let once = ctx.arena_mut().app("cx", vec![q]);
+        let twice = ctx.arena_mut().app("cx", vec![once]);
+        assert!(ctx.check_eq(twice, q).is_proved());
+        assert!(ctx.check_eq(once, q).is_refuted());
+    }
+
+    #[test]
+    fn z3py_example_from_the_paper() {
+        // assume(x >= 3); y = x*x; assert(y > x) succeeds only for ground x —
+        // symbolic nonlinear arithmetic is outside the fragment and reported
+        // as Unknown rather than silently accepted.
+        let mut ctx = Context::new();
+        let x = ctx.arena_mut().symbol("x");
+        let three = ctx.arena_mut().int(3);
+        ctx.assume(Formula::Le(three, x));
+        let y = ctx.arena_mut().app("*", vec![x, x]);
+        let verdict = ctx.check(&Formula::Lt(x, y));
+        assert!(matches!(verdict, Verdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn ground_arithmetic_and_counterexamples() {
+        let mut ctx = Context::new();
+        let five = ctx.arena_mut().int(5);
+        let two = ctx.arena_mut().int(2);
+        let sum = ctx.arena_mut().app("+", vec![two, two]);
+        assert!(ctx.check(&Formula::Lt(sum, five)).is_proved());
+        assert!(ctx.check(&Formula::Lt(five, sum)).is_refuted());
+        assert!(ctx.check(&Formula::Le(five, five)).is_proved());
+    }
+
+    #[test]
+    fn termination_measure_difference_check() {
+        // len(remain) - 1 < len(remain): the while_gate_remaining termination
+        // subgoal shape.
+        let mut ctx = Context::new();
+        let len = ctx.arena_mut().app("len", vec![]);
+        let one = ctx.arena_mut().int(1);
+        let smaller = ctx.arena_mut().app("-", vec![len, one]);
+        assert!(ctx.check(&Formula::Lt(smaller, len)).is_proved());
+        // And the buggy shape (no deletion) is refuted.
+        let zero = ctx.arena_mut().int(0);
+        let same = ctx.arena_mut().app("-", vec![len, zero]);
+        assert!(ctx.check(&Formula::Lt(same, len)).is_refuted());
+    }
+
+    #[test]
+    fn scopes_restore_assumptions() {
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("a");
+        let b = ctx.arena_mut().symbol("b");
+        ctx.push();
+        ctx.assume_eq(a, b);
+        assert!(ctx.check_eq(a, b).is_proved());
+        ctx.pop();
+        assert!(ctx.check_eq(a, b).is_refuted());
+        assert_eq!(ctx.num_assumptions(), 0);
+    }
+
+    #[test]
+    fn negation_and_conjunction() {
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("a");
+        let b = ctx.arena_mut().symbol("b");
+        ctx.assume_eq(a, b);
+        let goal = Formula::And(vec![Formula::Eq(a, b), Formula::Not(Box::new(Formula::Ne(a, b)))]);
+        assert!(ctx.check(&goal).is_proved());
+        let bad = Formula::And(vec![Formula::Eq(a, b), Formula::Ne(a, b)]);
+        assert!(ctx.check(&bad).is_refuted());
+    }
+
+    #[test]
+    fn implication_assumes_antecedent() {
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("a");
+        let b = ctx.arena_mut().symbol("b");
+        let fa = ctx.arena_mut().app("f", vec![a]);
+        let fb = ctx.arena_mut().app("f", vec![b]);
+        let goal = Formula::Implies(Box::new(Formula::Eq(a, b)), Box::new(Formula::Eq(fa, fb)));
+        assert!(ctx.check(&goal).is_proved());
+    }
+
+    #[test]
+    fn refutation_carries_an_explanation() {
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("alpha");
+        let b = ctx.arena_mut().symbol("beta");
+        match ctx.check_eq(a, b) {
+            Verdict::Refuted { explanation } => {
+                assert!(explanation.contains("alpha"));
+                assert!(explanation.contains("beta"));
+            }
+            other => panic!("expected refutation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("a");
+        let b = ctx.arena_mut().symbol("b");
+        ctx.assume_eq(a, b);
+        let _ = ctx.check_eq(a, b);
+        let _ = ctx.check_eq(b, a);
+        let stats = ctx.stats();
+        assert_eq!(stats.checks, 2);
+        assert!(stats.asserted_equalities >= 2);
+    }
+}

@@ -1,0 +1,177 @@
+//! Hash-consed first-order terms.
+//!
+//! Terms are interned in a [`TermArena`]: structurally equal terms always
+//! receive the same [`TermId`], so syntactic equality is an integer compare
+//! and the congruence closure can use ids as array indices.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an interned term inside a [`TermArena`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TermId(pub usize);
+
+/// The shape of a term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TermData {
+    /// A free constant (e.g. a symbolic qubit `q0`).
+    Symbol(String),
+    /// An integer literal.
+    Int(i64),
+    /// An application of a named function to argument terms.
+    App(String, Vec<TermId>),
+}
+
+/// An interning arena for terms.
+#[derive(Debug, Clone, Default)]
+pub struct TermArena {
+    terms: Vec<TermData>,
+    index: HashMap<TermData, TermId>,
+}
+
+impl TermArena {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        TermArena::default()
+    }
+
+    /// Number of distinct terms interned so far.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns a term, returning the existing id when the term is already
+    /// present.
+    pub fn intern(&mut self, data: TermData) -> TermId {
+        if let Some(&id) = self.index.get(&data) {
+            return id;
+        }
+        let id = TermId(self.terms.len());
+        self.terms.push(data.clone());
+        self.index.insert(data, id);
+        id
+    }
+
+    /// Interns a free constant symbol.
+    pub fn symbol(&mut self, name: &str) -> TermId {
+        self.intern(TermData::Symbol(name.to_string()))
+    }
+
+    /// Interns an integer literal.
+    pub fn int(&mut self, value: i64) -> TermId {
+        self.intern(TermData::Int(value))
+    }
+
+    /// Interns a function application.
+    pub fn app(&mut self, func: &str, args: Vec<TermId>) -> TermId {
+        self.intern(TermData::App(func.to_string(), args))
+    }
+
+    /// Looks up the data of an interned term.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id comes from a different arena.
+    pub fn data(&self, id: TermId) -> &TermData {
+        &self.terms[id.0]
+    }
+
+    /// Returns the integer value of a term when it is a literal.
+    pub fn as_int(&self, id: TermId) -> Option<i64> {
+        match self.data(id) {
+            TermData::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Pretty-prints a term (for diagnostics and counterexamples).
+    pub fn display(&self, id: TermId) -> String {
+        match self.data(id) {
+            TermData::Symbol(s) => s.clone(),
+            TermData::Int(v) => v.to_string(),
+            TermData::App(f, args) => {
+                if args.is_empty() {
+                    f.clone()
+                } else {
+                    let inner: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
+                    format!("{f}({})", inner.join(", "))
+                }
+            }
+        }
+    }
+
+    /// The size (number of nodes) of a term.
+    pub fn size(&self, id: TermId) -> usize {
+        match self.data(id) {
+            TermData::Symbol(_) | TermData::Int(_) => 1,
+            TermData::App(_, args) => 1 + args.iter().map(|&a| self.size(a)).sum::<usize>(),
+        }
+    }
+
+    /// All term ids interned so far, in creation order.
+    pub fn ids(&self) -> impl Iterator<Item = TermId> {
+        (0..self.terms.len()).map(TermId)
+    }
+}
+
+impl fmt::Display for TermArena {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "arena with {} terms", self.terms.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut arena = TermArena::new();
+        let a = arena.symbol("a");
+        let b = arena.symbol("a");
+        assert_eq!(a, b);
+        let f1 = arena.app("f", vec![a]);
+        let f2 = arena.app("f", vec![b]);
+        assert_eq!(f1, f2);
+        assert_eq!(arena.len(), 2);
+    }
+
+    #[test]
+    fn different_terms_get_different_ids() {
+        let mut arena = TermArena::new();
+        let a = arena.symbol("a");
+        let b = arena.symbol("b");
+        assert_ne!(a, b);
+        let fa = arena.app("f", vec![a]);
+        let fb = arena.app("f", vec![b]);
+        assert_ne!(fa, fb);
+        let ga = arena.app("g", vec![a]);
+        assert_ne!(fa, ga);
+    }
+
+    #[test]
+    fn ints_and_display() {
+        let mut arena = TermArena::new();
+        let one = arena.int(1);
+        assert_eq!(arena.as_int(one), Some(1));
+        let a = arena.symbol("a");
+        assert_eq!(arena.as_int(a), None);
+        let t = arena.app("plus", vec![a, one]);
+        assert_eq!(arena.display(t), "plus(a, 1)");
+        assert_eq!(arena.size(t), 3);
+    }
+
+    #[test]
+    fn nullary_app_displays_as_name() {
+        let mut arena = TermArena::new();
+        let cx = arena.app("CX", vec![]);
+        assert_eq!(arena.display(cx), "CX");
+    }
+}

@@ -1,0 +1,66 @@
+//! Reproduces the three case studies of §7: the verifier rejects the buggy
+//! Qiskit passes with concrete evidence and accepts the fixed versions.
+//!
+//! Run with `cargo run --example find_bugs`.
+
+use giallar::core::case_studies::all_case_studies;
+use giallar::ir::{Circuit, CouplingMap};
+use giallar::passes::optimization::{CommutativeCancellation, Optimize1qGates};
+use giallar::passes::pass::PassManager;
+
+fn main() {
+    println!("=== Giallar case studies (§7 of the paper) ===\n");
+    for study in all_case_studies() {
+        println!("case study : {}", study.name);
+        println!("  bug detected        : {}", study.bug_detected);
+        println!("  evidence            : {}", study.evidence);
+        println!("  fixed version passes: {}", study.fixed_version_verified);
+        println!();
+    }
+
+    // Show the buggy optimize_1q_gates pass corrupting a concrete circuit
+    // (Figure 8b) and the fixed pass leaving it intact.
+    let mut circuit = Circuit::with_clbits(1, 1);
+    circuit.u1(0.7, 0);
+    circuit
+        .push(
+            giallar::ir::Gate::new(giallar::ir::GateKind::U3(0.3, 0.4, 0.5), vec![0])
+                .with_classical_condition(0, true),
+        )
+        .unwrap();
+    let mut buggy = PassManager::new();
+    buggy.append(Box::new(Optimize1qGates::buggy()));
+    let mut fixed = PassManager::new();
+    fixed.append(Box::new(Optimize1qGates::new()));
+    let buggy_out = buggy.run(&circuit).unwrap().circuit;
+    let fixed_out = fixed.run(&circuit).unwrap().circuit;
+    println!("Figure 8b circuit:            {} gates", circuit.size());
+    println!("  buggy optimize_1q_gates  -> {} gates (conditioned gate merged!)", buggy_out.size());
+    println!("  fixed optimize_1q_gates  -> {} gates (run broken at the condition)", fixed_out.size());
+
+    // And the commutation bug on its counterexample circuit.
+    let mut fig9 = Circuit::new(2);
+    fig9.z(0).cx(0, 1).x(1).s(1).x(1);
+    let mut buggy = PassManager::new();
+    buggy.append(Box::new(CommutativeCancellation::buggy()));
+    let mut fixed = PassManager::new();
+    fixed.append(Box::new(CommutativeCancellation::new()));
+    println!("\nFigure 9 style circuit:       {} gates", fig9.size());
+    println!(
+        "  buggy commutative_cancellation -> {} gates (cancels across a non-commuting gate)",
+        buggy.run(&fig9).unwrap().circuit.size()
+    );
+    println!(
+        "  fixed commutative_cancellation -> {} gates",
+        fixed.run(&fig9).unwrap().circuit.size()
+    );
+
+    // The Figure 10 configuration is exercised inside the case study above;
+    // print the coupling facts it relies on.
+    let ibm16 = CouplingMap::ibm16();
+    println!(
+        "\nIBM-16 coupling facts for Figure 10: d(Q0,Q8)={:?}, d(Q7,Q15)={:?}",
+        ibm16.distance(0, 8),
+        ibm16.distance(7, 15)
+    );
+}
