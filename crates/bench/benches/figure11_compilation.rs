@@ -13,11 +13,7 @@ fn bench_figure11(c: &mut Criterion) {
     println!("\n=== Figure 11: Qiskit vs Giallar compilation time (falcon-27, lookahead swap) ===");
     println!("{}", figure11_text(&rows));
     let max_overhead = rows.iter().map(|r| r.overhead()).fold(f64::MIN, f64::max);
-    println!(
-        "maximum overhead across {} circuits: {:.1}%",
-        rows.len(),
-        max_overhead * 100.0
-    );
+    println!("maximum overhead across {} circuits: {:.1}%", rows.len(), max_overhead * 100.0);
 
     let mut group = c.benchmark_group("figure11_compilation");
     group.sample_size(10);

@@ -1,16 +1,35 @@
 //! Table 2: verification time for every verified pass.
 //!
-//! Prints the full table once, then benchmarks the verification of a
-//! representative subset of passes plus the whole registry.
+//! Prints the full table once, measures the sequential-vs-parallel speedup
+//! of full-registry verification (recorded to `BENCH_table2_verification.json`
+//! at the workspace root), then benchmarks the verification of a
+//! representative subset of passes plus the whole registry both ways.
 
-use bench::{table2_reports, table2_text};
+use std::path::Path;
+
+use bench::{measure_verification_speedup, table2_reports, table2_reports_parallel, table2_text};
 use criterion::{criterion_group, criterion_main, Criterion};
 use giallar_core::registry::verified_passes;
 use giallar_core::verifier::verify_pass;
 
+fn record_speedup() {
+    let speedup = measure_verification_speedup(5);
+    println!(
+        "\n=== verify_all_passes: sequential {:.4}s vs parallel {:.4}s on {} threads \
+         ({:.2}x speedup) ===",
+        speedup.sequential_seconds, speedup.parallel_seconds, speedup.threads, speedup.speedup
+    );
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_table2_verification.json");
+    match std::fs::write(&path, speedup.to_json()) {
+        Ok(()) => println!("recorded speedup to {}", path.display()),
+        Err(error) => println!("could not record {}: {error}", path.display()),
+    }
+}
+
 fn bench_table2(c: &mut Criterion) {
     println!("\n=== Table 2: verification of the 44 Qiskit passes ===");
     println!("{}", table2_text());
+    record_speedup();
 
     let mut group = c.benchmark_group("table2_verification");
     group.sample_size(10);
@@ -34,9 +53,16 @@ fn bench_table2(c: &mut Criterion) {
             })
         });
     }
-    group.bench_function("all_44_passes", |b| {
+    group.bench_function("all_44_passes_sequential", |b| {
         b.iter(|| {
             let reports = table2_reports();
+            assert_eq!(reports.len(), 44);
+            reports.len()
+        })
+    });
+    group.bench_function("all_44_passes_parallel", |b| {
+        b.iter(|| {
+            let reports = table2_reports_parallel();
             assert_eq!(reports.len(), 44);
             reports.len()
         })

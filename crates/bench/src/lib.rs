@@ -8,7 +8,9 @@
 
 use std::time::Instant;
 
-use giallar_core::verifier::{render_table2, verify_all_passes, PassReport};
+use giallar_core::verifier::{
+    render_table2, reports_agree, verify_all_passes, verify_all_passes_parallel, PassReport,
+};
 use giallar_core::wrapper::{baseline_transpile, giallar_transpile};
 use qc_ir::unitary::circuits_equivalent;
 use qc_ir::{Circuit, CouplingMap};
@@ -23,6 +25,80 @@ pub fn table2_reports() -> Vec<PassReport> {
 /// Renders Table 2 as text.
 pub fn table2_text() -> String {
     render_table2(&table2_reports())
+}
+
+/// Table 2 via the parallel verifier: same reports, one worker per chunk of
+/// the 44 registry entries.
+pub fn table2_reports_parallel() -> Vec<PassReport> {
+    verify_all_passes_parallel()
+}
+
+/// Sequential-vs-parallel comparison for full-registry verification (the
+/// headline hot path: Giallar's value proposition is re-verification on
+/// every compiler change, so wall-clock time of the whole registry matters).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VerificationSpeedup {
+    /// Best-of-N wall-clock seconds for [`verify_all_passes`].
+    pub sequential_seconds: f64,
+    /// Best-of-N wall-clock seconds for [`verify_all_passes_parallel`].
+    pub parallel_seconds: f64,
+    /// `sequential_seconds / parallel_seconds`.
+    pub speedup: f64,
+    /// Number of passes verified (44, Table 2).
+    pub passes: usize,
+    /// Worker threads the parallel verifier actually uses (honors
+    /// `RAYON_NUM_THREADS`, capped at one per pass).
+    pub threads: usize,
+}
+
+/// Measures the sequential and parallel verifiers back to back, keeping the
+/// best of `runs` wall-clock times for each, and cross-checks that both
+/// produce identical reports (ignoring timing).
+pub fn measure_verification_speedup(runs: usize) -> VerificationSpeedup {
+    let runs = runs.max(1);
+    let mut sequential_seconds = f64::INFINITY;
+    let mut parallel_seconds = f64::INFINITY;
+    let mut passes = 0;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let sequential = verify_all_passes();
+        sequential_seconds = sequential_seconds.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        let parallel = verify_all_passes_parallel();
+        parallel_seconds = parallel_seconds.min(start.elapsed().as_secs_f64());
+        assert!(
+            reports_agree(&sequential, &parallel),
+            "parallel verification must match the sequential reports"
+        );
+        passes = sequential.len();
+    }
+    VerificationSpeedup {
+        sequential_seconds,
+        parallel_seconds,
+        speedup: if parallel_seconds > 0.0 { sequential_seconds / parallel_seconds } else { 1.0 },
+        passes,
+        threads: rayon::current_num_threads().min(passes.max(1)),
+    }
+}
+
+impl VerificationSpeedup {
+    /// Renders the measurement as a JSON object (hand-rendered: the vendored
+    /// serde shim carries no serialization machinery).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\n",
+                "  \"benchmark\": \"verify_all_passes\",\n",
+                "  \"passes\": {},\n",
+                "  \"threads\": {},\n",
+                "  \"sequential_seconds\": {:.6},\n",
+                "  \"parallel_seconds\": {:.6},\n",
+                "  \"speedup\": {:.3}\n",
+                "}}\n"
+            ),
+            self.passes, self.threads, self.sequential_seconds, self.parallel_seconds, self.speedup
+        )
+    }
 }
 
 /// One row of the Figure 11 comparison.
@@ -178,6 +254,17 @@ mod tests {
         assert!(reports.iter().all(|r| r.verified));
         let text = table2_text();
         assert!(text.contains("CXCancellation"));
+    }
+
+    #[test]
+    fn speedup_measurement_is_consistent() {
+        let speedup = measure_verification_speedup(1);
+        assert_eq!(speedup.passes, 44);
+        assert!(speedup.sequential_seconds > 0.0);
+        assert!(speedup.parallel_seconds > 0.0);
+        let json = speedup.to_json();
+        assert!(json.contains("\"speedup\""));
+        assert!(json.contains("\"passes\": 44"));
     }
 
     #[test]

@@ -41,9 +41,8 @@ pub fn optimize_1q_case_study() -> CaseStudy {
             break;
         }
     }
-    let fixed_version_verified = optimize_1q_obligations(false)
-        .iter()
-        .all(|o| discharge(&o.goal).is_proved());
+    let fixed_version_verified =
+        optimize_1q_obligations(false).iter().all(|o| discharge(&o.goal).is_proved());
     CaseStudy {
         name: "optimize_1q_gates merges conditioned gates (§7.1)".to_string(),
         bug_detected,
@@ -64,9 +63,8 @@ pub fn commutation_case_study() -> CaseStudy {
             break;
         }
     }
-    let fixed_version_verified = commutative_cancellation_obligations(false)
-        .iter()
-        .all(|o| discharge(&o.goal).is_proved());
+    let fixed_version_verified =
+        commutative_cancellation_obligations(false).iter().all(|o| discharge(&o.goal).is_proved());
     CaseStudy {
         name: "commutative_cancellation groups non-commuting gates (§7.2)".to_string(),
         bug_detected,
@@ -110,8 +108,7 @@ pub fn lookahead_termination_case_study() -> CaseStudy {
     // The fixed pass terminates and routes the same circuit.
     let mut dag = DagCircuit::from_circuit(&circuit);
     let mut props = PropertySet::new();
-    let fixed_version_verified =
-        LookaheadSwap::new(coupling, 3).run(&mut dag, &mut props).is_ok();
+    let fixed_version_verified = LookaheadSwap::new(coupling, 3).run(&mut dag, &mut props).is_ok();
 
     CaseStudy {
         name: "lookahead_swap does not terminate on IBM-16 (§7.3)".to_string(),
@@ -123,11 +120,7 @@ pub fn lookahead_termination_case_study() -> CaseStudy {
 
 /// Runs all three case studies.
 pub fn all_case_studies() -> Vec<CaseStudy> {
-    vec![
-        optimize_1q_case_study(),
-        commutation_case_study(),
-        lookahead_termination_case_study(),
-    ]
+    vec![optimize_1q_case_study(), commutation_case_study(), lookahead_termination_case_study()]
 }
 
 #[cfg(test)]
@@ -138,11 +131,7 @@ mod tests {
     fn all_three_bugs_are_detected_and_all_fixes_verify() {
         for study in all_case_studies() {
             assert!(study.bug_detected, "bug not detected: {}", study.name);
-            assert!(
-                study.fixed_version_verified,
-                "fixed version does not verify: {}",
-                study.name
-            );
+            assert!(study.fixed_version_verified, "fixed version does not verify: {}", study.name);
             assert!(!study.evidence.is_empty());
         }
     }

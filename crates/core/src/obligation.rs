@@ -76,7 +76,8 @@ mod tests {
 
     #[test]
     fn obligations_carry_descriptions() {
-        let ob = ProofObligation::new("termination", Goal::TerminationDecrease { consumed: 1, kept: 0 });
+        let ob =
+            ProofObligation::new("termination", Goal::TerminationDecrease { consumed: 1, kept: 0 });
         assert_eq!(ob.description, "termination");
         assert!(matches!(ob.goal, Goal::TerminationDecrease { consumed: 1, kept: 0 }));
     }

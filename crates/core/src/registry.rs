@@ -202,7 +202,8 @@ pub fn verified_passes() -> Vec<VerifiedPass> {
 
     // Gate-direction passes: the CNOT flip is a genuine rewrite goal.
     let direction_obligations = || {
-        let cx_native = BranchCase::copy_through("cx already native", vec![gate(GateKind::CX, &[0, 1])]);
+        let cx_native =
+            BranchCase::copy_through("cx already native", vec![gate(GateKind::CX, &[0, 1])]);
         let cx_flipped = BranchCase::new(
             "cx flipped via Hadamard conjugation",
             vec![gate(GateKind::CX, &[0, 1])],
@@ -367,10 +368,7 @@ pub fn verified_passes() -> Vec<VerifiedPass> {
             let barrier_inserted = BranchCase::new(
                 "barrier inserted before final measurements",
                 vec![gate(GateKind::Measure, &[0])],
-                vec![
-                    SymElement::Gate(Gate::barrier(vec![0, 1])),
-                    gate(GateKind::Measure, &[0]),
-                ],
+                vec![SymElement::Gate(Gate::barrier(vec![0, 1])), gate(GateKind::Measure, &[0])],
                 vec![],
             );
             let other = BranchCase::copy_through("other gate", vec![gate(GateKind::H, &[0])]);
@@ -438,11 +436,7 @@ fn routing_obligations(walks_path: bool) -> Vec<ProofObligation> {
         chain.push_gate(Gate::new(GateKind::Swap, vec![1, 2]));
         obligations.push(ProofObligation::new(
             "a chain of SWAPs along the shortest path composes the permutations",
-            Goal::EquivalenceUpToPermutation {
-                lhs: original,
-                rhs: chain,
-                perm: vec![2, 0, 1],
-            },
+            Goal::EquivalenceUpToPermutation { lhs: original, rhs: chain, perm: vec![2, 0, 1] },
         ));
     }
     // Termination: whenever a gate is emitted the remaining list shrinks.
@@ -463,10 +457,8 @@ pub(crate) fn optimize_1q_obligations(buggy: bool) -> Vec<ProofObligation> {
         // condition's effect on the u1 part.
         let mut run = qc_ir::Circuit::with_clbits(1, 1);
         run.u1(0.7, 0);
-        run.push(
-            Gate::new(GateKind::U3(0.3, 0.4, 0.5), vec![0]).with_classical_condition(0, true),
-        )
-        .unwrap();
+        run.push(Gate::new(GateKind::U3(0.3, 0.4, 0.5), vec![0]).with_classical_condition(0, true))
+            .unwrap();
         let mut merged = qc_ir::Circuit::with_clbits(1, 1);
         merged
             .push(
@@ -556,7 +548,8 @@ pub(crate) fn commutative_cancellation_obligations(buggy: bool) -> Vec<ProofObli
             vec![gate(GateKind::X, &[1])],
             vec![],
         );
-        let copy = BranchCase::copy_through("group copied unchanged", vec![gate(GateKind::T, &[0])]);
+        let copy =
+            BranchCase::copy_through("group copied unchanged", vec![gate(GateKind::T, &[0])]);
         loop_subgoals(LoopTemplate::CollectRuns, &[z_between, x_between, copy], 2)
     }
 }
@@ -604,10 +597,7 @@ mod tests {
             PassFamily::Synthesis,
             PassFamily::Assorted,
         ] {
-            assert!(
-                passes.iter().any(|p| p.family == family),
-                "no pass in family {family:?}"
-            );
+            assert!(passes.iter().any(|p| p.family == family), "no pass in family {family:?}");
         }
     }
 

@@ -163,10 +163,9 @@ mod tests {
         let obligations = loop_subgoals(LoopTemplate::WhileGateRemaining, &branches, 2);
         // 2 invariant goals + 2 termination goals.
         assert_eq!(obligations.len(), 4);
-        assert!(obligations.iter().any(|o| matches!(
-            o.goal,
-            Goal::TerminationDecrease { consumed: 2, kept: 0 }
-        )));
+        assert!(obligations
+            .iter()
+            .any(|o| matches!(o.goal, Goal::TerminationDecrease { consumed: 2, kept: 0 })));
     }
 
     #[test]

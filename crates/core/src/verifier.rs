@@ -5,6 +5,7 @@
 use std::time::Instant;
 
 use qc_symbolic::{check_equivalence, check_equivalence_with_permutation, Verdict};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use smtlite::{Context, Formula};
 
@@ -88,6 +89,32 @@ pub fn verify_all_passes() -> Vec<PassReport> {
     crate::registry::verified_passes().iter().map(verify_pass).collect()
 }
 
+/// Verifies every pass in the registry in parallel, one worker task per
+/// chunk of the 44 registry entries.
+///
+/// Each pass's obligations are generated and discharged against a private
+/// solver context with no state shared across passes — exactly the per-pass
+/// modularity that §4 of the paper relies on — so the registry verifies
+/// embarrassingly parallel.  Reports come back in registry order with the
+/// same names and verdicts as [`verify_all_passes`]; only the recorded
+/// per-pass wall-clock times may differ between the two.
+pub fn verify_all_passes_parallel() -> Vec<PassReport> {
+    crate::registry::verified_passes().par_iter().map(verify_pass).collect()
+}
+
+/// True when two report lists agree on everything except timing: same order,
+/// same pass names, subgoal counts, verdicts, and failure descriptions.
+pub fn reports_agree(lhs: &[PassReport], rhs: &[PassReport]) -> bool {
+    lhs.len() == rhs.len()
+        && lhs.iter().zip(rhs).all(|(a, b)| {
+            a.name == b.name
+                && a.pass_loc == b.pass_loc
+                && a.subgoals == b.subgoals
+                && a.verified == b.verified
+                && a.failure == b.failure
+        })
+}
+
 /// Renders reports as a text table shaped like Table 2 of the paper.
 pub fn render_table2(reports: &[PassReport]) -> String {
     let mut out = String::new();
@@ -152,6 +179,34 @@ mod tests {
             perm: vec![0, 2, 1],
         };
         assert!(discharge(&goal).is_proved());
+    }
+
+    #[test]
+    fn parallel_verification_matches_sequential() {
+        let sequential = verify_all_passes();
+        let parallel = verify_all_passes_parallel();
+        assert_eq!(sequential.len(), 44);
+        assert!(reports_agree(&sequential, &parallel));
+    }
+
+    #[test]
+    fn reports_agree_detects_differences() {
+        let report = PassReport {
+            name: "CXCancellation".to_string(),
+            pass_loc: 24,
+            subgoals: 4,
+            time_seconds: 0.01,
+            verified: true,
+            failure: None,
+        };
+        let mut flipped = report.clone();
+        flipped.verified = false;
+        // Timing differences are ignored; verdict differences are not.
+        let mut retimed = report.clone();
+        retimed.time_seconds = 99.0;
+        assert!(reports_agree(std::slice::from_ref(&report), &[retimed]));
+        assert!(!reports_agree(std::slice::from_ref(&report), &[flipped]));
+        assert!(!reports_agree(&[report], &[]));
     }
 
     #[test]

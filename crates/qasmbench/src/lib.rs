@@ -293,7 +293,7 @@ mod tests {
         let suite = benchmark_suite();
         assert!(suite.len() >= 30, "expected 30+ benchmark circuits, got {}", suite.len());
         let max_qubits = suite.iter().map(|b| b.circuit.num_qubits()).max().unwrap();
-        assert!(max_qubits >= 25 && max_qubits <= 30);
+        assert!((25..=30).contains(&max_qubits));
         let max_gates = suite.iter().map(|b| b.circuit.size()).max().unwrap();
         assert!(max_gates >= 1000, "largest circuit should have 1000+ gates, got {max_gates}");
         // Names are unique.

@@ -167,10 +167,7 @@ impl Circuit {
     /// Panics if `index > self.size()` or the gate does not fit the registers.
     pub fn insert(&mut self, index: usize, gate: Gate) {
         gate.validate().expect("invalid gate");
-        assert!(
-            gate.qubits.iter().all(|&q| q < self.num_qubits),
-            "qubit out of range in insert"
-        );
+        assert!(gate.qubits.iter().all(|&q| q < self.num_qubits), "qubit out of range in insert");
         self.gates.insert(index, gate);
     }
 
@@ -210,10 +207,8 @@ impl Circuit {
     pub fn inverse(&self) -> Result<Circuit> {
         let mut out = Circuit::with_clbits(self.num_qubits, self.num_clbits);
         for gate in self.gates.iter().rev() {
-            let inv_kind = gate
-                .kind
-                .inverse()
-                .ok_or_else(|| QcError::NonUnitary(gate.name().to_string()))?;
+            let inv_kind =
+                gate.kind.inverse().ok_or_else(|| QcError::NonUnitary(gate.name().to_string()))?;
             let mut g = Gate::new(inv_kind, gate.qubits.clone());
             g.condition = gate.condition;
             out.push(g)?;
@@ -292,10 +287,7 @@ impl Circuit {
 
     /// Number of two-qubit gates (excluding barriers).
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.gates
-            .iter()
-            .filter(|g| !g.is_directive() && g.num_qubits() == 2)
-            .count()
+        self.gates.iter().filter(|g| !g.is_directive() && g.num_qubits() == 2).count()
     }
 
     /// Number of tensor factors: connected components of the qubit graph in
@@ -363,9 +355,7 @@ impl Circuit {
 
     /// Returns `true` when the circuit contains measurements or resets.
     pub fn has_nonunitary_ops(&self) -> bool {
-        self.gates
-            .iter()
-            .any(|g| matches!(g.kind, GateKind::Measure | GateKind::Reset))
+        self.gates.iter().any(|g| matches!(g.kind, GateKind::Measure | GateKind::Reset))
     }
 
     // --- convenience builders -------------------------------------------------

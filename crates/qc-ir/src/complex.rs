@@ -136,10 +136,7 @@ impl SubAssign for Complex {
 impl Mul for Complex {
     type Output = Complex;
     fn mul(self, rhs: Complex) -> Complex {
-        Complex::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        Complex::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -158,6 +155,8 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    // Multiplying by the reciprocal IS complex division.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, rhs: Complex) -> Complex {
         self * rhs.recip()
     }

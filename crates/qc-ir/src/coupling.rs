@@ -158,14 +158,14 @@ impl CouplingMap {
     pub fn distance_matrix(&self) -> Vec<Vec<usize>> {
         let n = self.num_qubits;
         let mut dist = vec![vec![usize::MAX; n]; n];
-        for start in 0..n {
-            dist[start][start] = 0;
+        for (start, row) in dist.iter_mut().enumerate() {
+            row[start] = 0;
             let mut queue = VecDeque::new();
             queue.push_back(start);
             while let Some(cur) = queue.pop_front() {
                 for nb in self.neighbors(cur) {
-                    if dist[start][nb] == usize::MAX {
-                        dist[start][nb] = dist[start][cur] + 1;
+                    if row[nb] == usize::MAX {
+                        row[nb] = row[cur] + 1;
                         queue.push_back(nb);
                     }
                 }
@@ -379,9 +379,9 @@ mod tests {
     fn distance_matrix_is_symmetric() {
         let map = CouplingMap::ibm16();
         let d = map.distance_matrix();
-        for a in 0..16 {
-            for b in 0..16 {
-                assert_eq!(d[a][b], d[b][a]);
+        for (a, row) in d.iter().enumerate() {
+            for (b, &dist) in row.iter().enumerate() {
+                assert_eq!(dist, d[b][a]);
             }
         }
     }

@@ -359,9 +359,7 @@ impl GateKind {
             GateKind::RZ(a) => GateKind::RZ(-a),
             GateKind::P(a) => GateKind::P(-a),
             GateKind::U1(a) => GateKind::U1(-a),
-            GateKind::U2(phi, lam) => {
-                GateKind::U3(-std::f64::consts::FRAC_PI_2, -lam, -phi)
-            }
+            GateKind::U2(phi, lam) => GateKind::U3(-std::f64::consts::FRAC_PI_2, -lam, -phi),
             GateKind::U3(theta, phi, lam) => GateKind::U3(-theta, -lam, -phi),
             GateKind::CX => GateKind::CX,
             GateKind::CY => GateKind::CY,
@@ -399,28 +397,22 @@ impl GateKind {
             ]),
             GateKind::S => Matrix::from_rows(&[[one, zero], [zero, i]]),
             GateKind::Sdg => Matrix::from_rows(&[[one, zero], [zero, -i]]),
-            GateKind::T => Matrix::from_rows(&[
-                [one, zero],
-                [zero, Complex::cis(std::f64::consts::FRAC_PI_4)],
-            ]),
+            GateKind::T => {
+                Matrix::from_rows(&[[one, zero], [zero, Complex::cis(std::f64::consts::FRAC_PI_4)]])
+            }
             GateKind::Tdg => Matrix::from_rows(&[
                 [one, zero],
                 [zero, Complex::cis(-std::f64::consts::FRAC_PI_4)],
             ]),
-            GateKind::SX => Matrix::from_rows(&[
-                [c(0.5, 0.5), c(0.5, -0.5)],
-                [c(0.5, -0.5), c(0.5, 0.5)],
-            ]),
-            GateKind::SXdg => Matrix::from_rows(&[
-                [c(0.5, -0.5), c(0.5, 0.5)],
-                [c(0.5, 0.5), c(0.5, -0.5)],
-            ]),
+            GateKind::SX => {
+                Matrix::from_rows(&[[c(0.5, 0.5), c(0.5, -0.5)], [c(0.5, -0.5), c(0.5, 0.5)]])
+            }
+            GateKind::SXdg => {
+                Matrix::from_rows(&[[c(0.5, -0.5), c(0.5, 0.5)], [c(0.5, 0.5), c(0.5, -0.5)]])
+            }
             GateKind::RX(theta) => {
                 let (cos, sin) = ((theta / 2.0).cos(), (theta / 2.0).sin());
-                Matrix::from_rows(&[
-                    [c(cos, 0.0), c(0.0, -sin)],
-                    [c(0.0, -sin), c(cos, 0.0)],
-                ])
+                Matrix::from_rows(&[[c(cos, 0.0), c(0.0, -sin)], [c(0.0, -sin), c(cos, 0.0)]])
             }
             GateKind::RY(theta) => {
                 let (cos, sin) = ((theta / 2.0).cos(), (theta / 2.0).sin());
@@ -434,14 +426,8 @@ impl GateKind {
                 Matrix::from_rows(&[[one, zero], [zero, Complex::cis(lam)]])
             }
             GateKind::U2(phi, lam) => Matrix::from_rows(&[
-                [
-                    c(FRAC_1_SQRT_2, 0.0),
-                    Complex::cis(lam) * (-FRAC_1_SQRT_2),
-                ],
-                [
-                    Complex::cis(phi) * FRAC_1_SQRT_2,
-                    Complex::cis(lam + phi) * FRAC_1_SQRT_2,
-                ],
+                [c(FRAC_1_SQRT_2, 0.0), Complex::cis(lam) * (-FRAC_1_SQRT_2)],
+                [Complex::cis(phi) * FRAC_1_SQRT_2, Complex::cis(lam + phi) * FRAC_1_SQRT_2],
             ]),
             GateKind::U3(theta, phi, lam) => {
                 let (cos, sin) = ((theta / 2.0).cos(), (theta / 2.0).sin());

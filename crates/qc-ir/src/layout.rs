@@ -141,10 +141,7 @@ impl Layout {
         if self.l2p.len() != self.p2l.len() {
             return false;
         }
-        self.l2p
-            .iter()
-            .enumerate()
-            .all(|(l, &p)| p < self.p2l.len() && self.p2l[p] == l)
+        self.l2p.iter().enumerate().all(|(l, &p)| p < self.p2l.len() && self.p2l[p] == l)
     }
 }
 

@@ -101,7 +101,8 @@ impl Matrix {
             for j in 0..self.cols {
                 for k in 0..other.rows {
                     for l in 0..other.cols {
-                        out[(i * other.rows + k, j * other.cols + l)] = self[(i, j)] * other[(k, l)];
+                        out[(i * other.rows + k, j * other.cols + l)] =
+                            self[(i, j)] * other[(k, l)];
                     }
                 }
             }
@@ -120,10 +121,7 @@ impl Matrix {
         if self.rows != other.rows || self.cols != other.cols {
             return false;
         }
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .all(|(a, b)| a.approx_eq(*b, tol))
+        self.data.iter().zip(other.data.iter()).all(|(a, b)| a.approx_eq(*b, tol))
     }
 
     /// Equality up to a global phase `e^{iφ}`: returns `true` when there is a
@@ -274,10 +272,7 @@ mod tests {
     use super::*;
 
     fn pauli_x() -> Matrix {
-        Matrix::from_rows(&[
-            [Complex::zero(), Complex::one()],
-            [Complex::one(), Complex::zero()],
-        ])
+        Matrix::from_rows(&[[Complex::zero(), Complex::one()], [Complex::one(), Complex::zero()]])
     }
 
     fn pauli_z() -> Matrix {

@@ -31,10 +31,8 @@ impl DeviceProperties {
     /// paper's era.  The same seed always produces the same properties.
     pub fn synthetic(coupling: &CouplingMap, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let cx_errors = coupling
-            .directed_edges()
-            .map(|(a, b)| (a, b, rng.random_range(0.005..0.03)))
-            .collect();
+        let cx_errors =
+            coupling.directed_edges().map(|(a, b)| (a, b, rng.random_range(0.005..0.03))).collect();
         let readout_errors =
             (0..coupling.num_qubits()).map(|_| rng.random_range(0.01..0.05)).collect();
         DeviceProperties { num_qubits: coupling.num_qubits(), cx_errors, readout_errors }

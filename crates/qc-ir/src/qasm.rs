@@ -86,8 +86,7 @@ pub fn from_qasm(source: &str) -> Result<Circuit> {
             if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
                 continue;
             }
-            if stmt.starts_with("gate ") || stmt.starts_with("opaque ") || stmt.starts_with("if")
-            {
+            if stmt.starts_with("gate ") || stmt.starts_with("opaque ") || stmt.starts_with("if") {
                 return Err(QcError::Unsupported(format!(
                     "line {line_no}: `{stmt}` is outside the supported OpenQASM subset"
                 )));
@@ -109,8 +108,10 @@ pub fn from_qasm(source: &str) -> Result<Circuit> {
                 if parts.len() != 2 {
                     return Err(err("measure expects `q -> c`"));
                 }
-                let qs = resolve_operand(parts[0].trim(), &qregs).ok_or_else(|| err("bad qubit"))?;
-                let cs = resolve_operand(parts[1].trim(), &cregs).ok_or_else(|| err("bad clbit"))?;
+                let qs =
+                    resolve_operand(parts[0].trim(), &qregs).ok_or_else(|| err("bad qubit"))?;
+                let cs =
+                    resolve_operand(parts[1].trim(), &cregs).ok_or_else(|| err("bad clbit"))?;
                 if qs.len() != cs.len() {
                     return Err(err("measure register size mismatch"));
                 }
@@ -254,13 +255,9 @@ fn tokenize(expr: &str) -> Option<Vec<Tok>> {
                 tokens.push(Tok::RParen);
                 i += 1;
             }
-            'p' | 'P' => {
-                if i + 1 < chars.len() && (chars[i + 1] == 'i' || chars[i + 1] == 'I') {
-                    tokens.push(Tok::Num(std::f64::consts::PI));
-                    i += 2;
-                } else {
-                    return None;
-                }
+            'p' | 'P' if i + 1 < chars.len() && (chars[i + 1] == 'i' || chars[i + 1] == 'I') => {
+                tokens.push(Tok::Num(std::f64::consts::PI));
+                i += 2;
             }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
@@ -420,14 +417,8 @@ mod tests {
 
     #[test]
     fn rejects_unsupported_constructs() {
-        assert!(matches!(
-            from_qasm("qreg q[1]; if(c==1) x q[0];"),
-            Err(QcError::Unsupported(_))
-        ));
-        assert!(matches!(
-            from_qasm("gate mygate a { h a; }"),
-            Err(QcError::Unsupported(_))
-        ));
+        assert!(matches!(from_qasm("qreg q[1]; if(c==1) x q[0];"), Err(QcError::Unsupported(_))));
+        assert!(matches!(from_qasm("gate mygate a { h a; }"), Err(QcError::Unsupported(_))));
         let mut c = Circuit::with_clbits(1, 1);
         c.push(Gate::new(GateKind::X, vec![0]).with_classical_condition(0, true)).unwrap();
         assert!(to_qasm(&c).is_err());

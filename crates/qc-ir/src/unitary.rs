@@ -92,14 +92,10 @@ pub fn gate_unitary(gate: &Gate, n: usize) -> Result<Matrix> {
 fn gate_unitary_ignoring_condition(gate: &Gate, n: usize) -> Result<Matrix> {
     match gate.kind {
         GateKind::Barrier => Ok(Matrix::identity(1 << n)),
-        GateKind::Measure | GateKind::Reset => {
-            Err(QcError::NonUnitary(gate.name().to_string()))
-        }
+        GateKind::Measure | GateKind::Reset => Err(QcError::NonUnitary(gate.name().to_string())),
         _ => {
-            let m = gate
-                .kind
-                .matrix()
-                .ok_or_else(|| QcError::NonUnitary(gate.name().to_string()))?;
+            let m =
+                gate.kind.matrix().ok_or_else(|| QcError::NonUnitary(gate.name().to_string()))?;
             embed_gate(&m, &gate.qubits, n)
         }
     }
@@ -312,8 +308,8 @@ mod tests {
         let amp = std::f64::consts::FRAC_1_SQRT_2;
         assert!(sv[0].approx_eq(Complex::real(amp), 1e-9));
         assert!(sv[7].approx_eq(Complex::real(amp), 1e-9));
-        for i in 1..7 {
-            assert!(sv[i].is_zero(1e-9));
+        for amp_mid in &sv[1..7] {
+            assert!(amp_mid.is_zero(1e-9));
         }
     }
 
@@ -353,7 +349,10 @@ mod tests {
         let mut original = Circuit::with_clbits(1, 1);
         original.u1(lam1, 0);
         original
-            .push(Gate::new(GateKind::U3(theta2, phi2, lam2), vec![0]).with_classical_condition(0, true))
+            .push(
+                Gate::new(GateKind::U3(theta2, phi2, lam2), vec![0])
+                    .with_classical_condition(0, true),
+            )
             .unwrap();
         let mut merged = Circuit::with_clbits(1, 1);
         merged

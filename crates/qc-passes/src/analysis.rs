@@ -82,10 +82,7 @@ impl TranspilerPass for CountOpsLongestPath {
         "CountOpsLongestPath"
     }
     fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
-        props.set(
-            "count_ops_longest_path",
-            AnalysisValue::Counts(dag.count_ops_longest_path()),
-        );
+        props.set("count_ops_longest_path", AnalysisValue::Counts(dag.count_ops_longest_path()));
         Ok(())
     }
     fn is_analysis(&self) -> bool {

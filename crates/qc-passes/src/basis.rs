@@ -284,9 +284,8 @@ impl TranspilerPass for Unroll3qOrMore {
                 out.push(gate.clone());
                 return Ok(());
             }
-            let parts = decompose_gate(gate).ok_or_else(|| {
-                QcError::Unsupported(format!("cannot decompose {}", gate.name()))
-            })?;
+            let parts = decompose_gate(gate)
+                .ok_or_else(|| QcError::Unsupported(format!("cannot decompose {}", gate.name())))?;
             for part in parts {
                 expand(&part, out)?;
             }
@@ -469,8 +468,8 @@ mod tests {
             let n = gate.num_qubits();
             let mut original = Circuit::new(n);
             original.push(gate.clone()).unwrap();
-            let parts = decompose_gate(&gate)
-                .unwrap_or_else(|| panic!("{} should decompose", gate.name()));
+            let parts =
+                decompose_gate(&gate).unwrap_or_else(|| panic!("{} should decompose", gate.name()));
             let mut decomposed = Circuit::new(n);
             for part in parts {
                 decomposed.push(part).unwrap();
@@ -522,7 +521,7 @@ mod tests {
         let out = dag.to_circuit().unwrap();
         assert_eq!(out.count_ops().get("cx"), Some(&3));
         assert_eq!(out.count_ops().get("h"), Some(&1));
-        assert!(out.count_ops().get("swap").is_none());
+        assert!(!out.count_ops().contains_key("swap"));
     }
 
     #[test]

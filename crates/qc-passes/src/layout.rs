@@ -54,10 +54,6 @@ fn complete_layout(partial: &[Option<usize>], device_size: usize) -> Result<Layo
             break;
         }
     }
-    while l2p.len() < device_size {
-        // All remaining physical qubits already consumed above.
-        break;
-    }
     Layout::from_logical_to_physical(l2p)
 }
 
@@ -332,7 +328,13 @@ impl CspLayout {
                 continue;
             }
             let compatible = interactions.iter().all(|&(a, b, _)| {
-                let other = if a == logical { b } else if b == logical { a } else { return true };
+                let other = if a == logical {
+                    b
+                } else if b == logical {
+                    a
+                } else {
+                    return true;
+                };
                 match assignment[other] {
                     Some(p) => self.coupling.connected(physical, p),
                     None => true,
@@ -399,10 +401,8 @@ impl TranspilerPass for Layout2qDistance {
         "Layout2qDistance"
     }
     fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
-        let layout = props
-            .layout
-            .clone()
-            .unwrap_or_else(|| Layout::trivial(self.coupling.num_qubits()));
+        let layout =
+            props.layout.clone().unwrap_or_else(|| Layout::trivial(self.coupling.num_qubits()));
         let dist = self.coupling.distance_matrix();
         let score = layout_cost(&interaction_counts(dag), &layout, &dist);
         props.set("layout_score", AnalysisValue::Int(score));
@@ -480,8 +480,7 @@ impl TranspilerPass for ApplyLayout {
             .as_ref()
             .ok_or_else(|| QcError::InvalidLayout("no layout selected yet".to_string()))?;
         let circuit = dag.to_circuit()?;
-        let mapped =
-            circuit.map_qubits(layout.as_logical_to_physical(), layout.len())?;
+        let mapped = circuit.map_qubits(layout.as_logical_to_physical(), layout.len())?;
         *dag = DagCircuit::from_circuit(&mapped);
         Ok(())
     }

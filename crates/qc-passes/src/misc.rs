@@ -80,8 +80,7 @@ impl TranspilerPass for BarrierBeforeFinalMeasurements {
         if finals.is_empty() {
             return Ok(());
         }
-        let measured: Vec<usize> =
-            finals.iter().map(|&i| circuit.gates()[i].qubits[0]).collect();
+        let measured: Vec<usize> = finals.iter().map(|&i| circuit.gates()[i].qubits[0]).collect();
         let first_final = finals[0];
         let mut output = Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
         for (i, gate) in circuit.iter().enumerate() {
@@ -181,8 +180,8 @@ mod tests {
         let mut c = Circuit::with_clbits(2, 2);
         c.h(0).cx(0, 1).barrier_all().measure(0, 0).measure(1, 1);
         let out = apply(&RemoveFinalMeasurements, &c);
-        assert!(out.count_ops().get("measure").is_none());
-        assert!(out.count_ops().get("barrier").is_none(), "trailing barrier is dropped too");
+        assert!(!out.count_ops().contains_key("measure"));
+        assert!(!out.count_ops().contains_key("barrier"), "trailing barrier is dropped too");
         assert_eq!(out.size(), 2);
     }
 }

@@ -44,10 +44,7 @@ pub fn u3_angles_from_matrix(m: &Matrix) -> (f64, f64, f64) {
 pub fn merge_1q_run(run: &[Gate]) -> Result<GateKind, QcError> {
     let mut m = Matrix::identity(2);
     for gate in run {
-        let g = gate
-            .kind
-            .matrix()
-            .ok_or_else(|| QcError::NonUnitary(gate.name().to_string()))?;
+        let g = gate.kind.matrix().ok_or_else(|| QcError::NonUnitary(gate.name().to_string()))?;
         m = &g * &m;
     }
     let (theta, phi, lam) = u3_angles_from_matrix(&m);
@@ -131,8 +128,8 @@ impl Optimize1qGates {
             Ok(())
         };
         for gate in circuit.iter() {
-            let mergeable = is_mergeable_1q(gate)
-                && (!self.respect_conditions || !gate.is_conditioned());
+            let mergeable =
+                is_mergeable_1q(gate) && (!self.respect_conditions || !gate.is_conditioned());
             if mergeable {
                 pending[gate.qubits[0]].push(gate.clone());
                 continue;
@@ -150,8 +147,8 @@ impl Optimize1qGates {
             }
             output.push(gate.clone())?;
         }
-        for q in 0..circuit.num_qubits() {
-            let mut run = std::mem::take(&mut pending[q]);
+        for slot in &mut pending {
+            let mut run = std::mem::take(slot);
             flush(&mut output, &mut run)?;
         }
         *dag = DagCircuit::from_circuit(&output);
@@ -269,16 +266,12 @@ impl CommutationAnalysis {
                 continue;
             }
             let admissible = if self.pairwise {
-                current
-                    .iter()
-                    .all(|&j| gates_commute(&gates[j], gate).unwrap_or(false))
+                current.iter().all(|&j| gates_commute(&gates[j], gate).unwrap_or(false))
             } else {
                 // Buggy: joining requires commuting with *some* group member
                 // only — commutation treated as if it were transitive.
                 current.is_empty()
-                    || current
-                        .iter()
-                        .any(|&j| gates_commute(&gates[j], gate).unwrap_or(false))
+                    || current.iter().any(|&j| gates_commute(&gates[j], gate).unwrap_or(false))
             };
             if admissible {
                 current.push(i);
@@ -402,8 +395,7 @@ impl Collect2qBlocks {
                 if assigned[j] {
                     continue;
                 }
-                let on_pair =
-                    !gate.is_directive() && gate.qubits.iter().all(|q| pair.contains(q));
+                let on_pair = !gate.is_directive() && gate.qubits.iter().all(|q| pair.contains(q));
                 let touches_pair = gate.qubits.iter().any(|q| pair.contains(q));
                 if on_pair {
                     block.push(j);
@@ -475,8 +467,7 @@ impl TranspilerPass for ConsolidateBlocks {
                 (GateKind::CZ, GateKind::CZ.matrix().unwrap()),
                 (GateKind::Swap, GateKind::Swap.matrix().unwrap()),
             ];
-            let chosen: Option<Vec<Gate>> = if u
-                .equal_up_to_global_phase(&Matrix::identity(4), tol)
+            let chosen: Option<Vec<Gate>> = if u.equal_up_to_global_phase(&Matrix::identity(4), tol)
             {
                 Some(Vec::new())
             } else {
@@ -534,11 +525,7 @@ impl TranspilerPass for RemoveDiagonalGatesBeforeMeasure {
             }
             let q = gate.qubits[0];
             // The next gate touching this qubit must be a measurement.
-            let next = gates
-                .iter()
-                .enumerate()
-                .skip(i + 1)
-                .find(|(_, g)| g.qubits.contains(&q));
+            let next = gates.iter().enumerate().skip(i + 1).find(|(_, g)| g.qubits.contains(&q));
             if let Some((_, next_gate)) = next {
                 if next_gate.kind == GateKind::Measure {
                     removed[i] = true;
@@ -570,9 +557,8 @@ impl TranspilerPass for RemoveResetInZeroState {
         let mut touched = vec![false; circuit.num_qubits()];
         let mut output = qc_ir::Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
         for gate in circuit.iter() {
-            let removable = gate.kind == GateKind::Reset
-                && !gate.is_conditioned()
-                && !touched[gate.qubits[0]];
+            let removable =
+                gate.kind == GateKind::Reset && !gate.is_conditioned() && !touched[gate.qubits[0]];
             if !removable {
                 output.push(gate.clone())?;
             }
@@ -758,7 +744,7 @@ mod tests {
         let out = apply(&RemoveDiagonalGatesBeforeMeasure, &c);
         // t(0) is immediately before a measurement and is dropped; z(1) is
         // followed by h(1) and survives.
-        assert!(out.count_ops().get("t").is_none());
+        assert!(!out.count_ops().contains_key("t"));
         assert_eq!(out.count_ops().get("z"), Some(&1));
         assert_eq!(out.count_ops().get("measure"), Some(&2));
     }
@@ -774,7 +760,9 @@ mod tests {
 
     #[test]
     fn u3_angles_recover_known_gates() {
-        for kind in [GateKind::H, GateKind::X, GateKind::T, GateKind::SX, GateKind::U3(0.3, 0.7, -0.4)] {
+        for kind in
+            [GateKind::H, GateKind::X, GateKind::T, GateKind::SX, GateKind::U3(0.3, 0.7, -0.4)]
+        {
             let m = kind.matrix().unwrap();
             let (theta, phi, lam) = u3_angles_from_matrix(&m);
             let mut a = Circuit::new(1);

@@ -129,7 +129,13 @@ pub struct LookaheadSwap {
 impl LookaheadSwap {
     /// The fixed (randomised tie-breaking) variant.
     pub fn new(coupling: CouplingMap, seed: u64) -> Self {
-        LookaheadSwap { coupling, lookahead: 4, mode: LookaheadMode::Fixed, seed, swap_budget: 10_000 }
+        LookaheadSwap {
+            coupling,
+            lookahead: 4,
+            mode: LookaheadMode::Fixed,
+            seed,
+            swap_budget: 10_000,
+        }
     }
 
     /// The original Qiskit behaviour containing the non-termination bug of
@@ -203,13 +209,11 @@ impl TranspilerPass for LookaheadSwap {
             let current = self.total_distance(&pending, &state, &dist);
             let mut best: Option<((usize, usize), usize)> = None;
             for &(a, b) in &edges {
-                let mut candidate = RoutingState {
-                    output: Circuit::new(0),
-                    layout: state.layout.clone(),
-                };
+                let mut candidate =
+                    RoutingState { output: Circuit::new(0), layout: state.layout.clone() };
                 candidate.layout.swap_physical(a, b);
                 let score = self.total_distance(&pending, &candidate, &dist);
-                if best.map_or(true, |(_, s)| score < s) {
+                if best.is_none_or(|(_, s)| score < s) {
                     best = Some(((a, b), score));
                 }
             }
@@ -314,10 +318,9 @@ impl TranspilerPass for StochasticSwap {
                         let (x, y) = edges[rng.random_range(0..edges.len())];
                         let mut layout = state.layout.clone();
                         layout.swap_physical(x, y);
-                        let score =
-                            dist[layout.logical_to_physical(gate.qubits[0])]
-                                [layout.logical_to_physical(gate.qubits[1])];
-                        if best.map_or(true, |(_, s)| score < s) {
+                        let score = dist[layout.logical_to_physical(gate.qubits[0])]
+                            [layout.logical_to_physical(gate.qubits[1])];
+                        if best.is_none_or(|(_, s)| score < s) {
                             best = Some(((x, y), score));
                         }
                     }
@@ -383,9 +386,7 @@ mod tests {
 
     fn routed_respects_map(circuit: &Circuit, coupling: &CouplingMap) -> bool {
         circuit.iter().all(|g| {
-            g.num_qubits() != 2
-                || g.is_directive()
-                || coupling.connected(g.qubits[0], g.qubits[1])
+            g.num_qubits() != 2 || g.is_directive() || coupling.connected(g.qubits[0], g.qubits[1])
         })
     }
 

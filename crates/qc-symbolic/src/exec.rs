@@ -51,8 +51,7 @@ impl SymbolicExecutor {
         for rule in circuit_rewrite_rules() {
             ctx.add_rule(rule.rule);
         }
-        let initial =
-            (0..num_qubits).map(|i| ctx.arena_mut().symbol(&format!("q{i}"))).collect();
+        let initial = (0..num_qubits).map(|i| ctx.arena_mut().symbol(&format!("q{i}"))).collect();
         SymbolicExecutor { ctx, initial }
     }
 
@@ -83,10 +82,7 @@ impl SymbolicExecutor {
     ///
     /// Panics when the state has fewer qubits than the circuit requires.
     pub fn execute_from(&mut self, circuit: &SymCircuit, state: &[TermId]) -> Vec<TermId> {
-        assert!(
-            state.len() >= circuit.num_qubits(),
-            "register state smaller than the circuit"
-        );
+        assert!(state.len() >= circuit.num_qubits(), "register state smaller than the circuit");
         let mut state = state.to_vec();
         for element in circuit.elements() {
             match element {
@@ -138,9 +134,8 @@ impl SymbolicExecutor {
 
     /// Applies an opaque segment: every qubit the segment may touch receives
     /// an uninterpreted term that depends on all touched input wires.
-    fn apply_segment(&mut self, name: &str, excluded: &[usize], state: &mut Vec<TermId>) {
-        let touched: Vec<usize> =
-            (0..state.len()).filter(|q| !excluded.contains(q)).collect();
+    fn apply_segment(&mut self, name: &str, excluded: &[usize], state: &mut [TermId]) {
+        let touched: Vec<usize> = (0..state.len()).filter(|q| !excluded.contains(q)).collect();
         let inputs: Vec<TermId> = touched.iter().map(|&q| state[q]).collect();
         for &q in &touched {
             let out = self.ctx.arena_mut().app(&format!("seg_{name}_{q}"), inputs.clone());
@@ -161,8 +156,7 @@ mod tests {
         ghz.h(0).cx(0, 1).cx(1, 2);
         let mut exec = SymbolicExecutor::new(3);
         let out = exec.execute(&SymCircuit::from_circuit(&ghz));
-        let display: Vec<String> =
-            out.iter().map(|&t| exec.context().arena().display(t)).collect();
+        let display: Vec<String> = out.iter().map(|&t| exec.context().arena().display(t)).collect();
         assert_eq!(display[0], "cx_1(h(q0), q1)");
         assert_eq!(display[1], "cx_1(cx_2(h(q0), q1), q2)");
         assert_eq!(display[2], "cx_2(cx_2(h(q0), q1), q2)");

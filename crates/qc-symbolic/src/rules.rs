@@ -276,11 +276,8 @@ pub fn circuit_rewrite_rules() -> Vec<ClassifiedRule> {
     for &d in &["z", "s", "t"] {
         for side in 1..=2 {
             let identity = format!("commute_{d}_cz_{side}");
-            let (in1, in2) = if side == 1 {
-                (g1(d, v("a")), v("b"))
-            } else {
-                (v("a"), g1(d, v("b")))
-            };
+            let (in1, in2) =
+                if side == 1 { (g1(d, v("a")), v("b")) } else { (v("a"), g1(d, v("b"))) };
             for k in 1..=2 {
                 let lhs = g2("cz", k, in1.clone(), in2.clone());
                 let rhs = if k == side {

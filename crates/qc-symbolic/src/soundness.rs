@@ -51,8 +51,7 @@ pub fn check_identity(identity: &RuleIdentity) -> IdentityCheck {
             for (logical, &target) in perm.iter().enumerate() {
                 full_perm[mapping[logical]] = mapping[target];
             }
-            equivalent_up_to_permutation(&rhs_embedded, &lhs_embedded, &full_perm)
-                .unwrap_or(false)
+            equivalent_up_to_permutation(&rhs_embedded, &lhs_embedded, &full_perm).unwrap_or(false)
         }
     };
 

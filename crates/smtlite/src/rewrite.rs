@@ -64,9 +64,7 @@ impl Pattern {
             Pattern::App(func, args) => match arena.data(term) {
                 TermData::App(f, term_args) if f == func && term_args.len() == args.len() => {
                     let term_args = term_args.clone();
-                    args.iter()
-                        .zip(term_args.iter())
-                        .all(|(p, &t)| p.matches(t, arena, bindings))
+                    args.iter().zip(term_args.iter()).all(|(p, &t)| p.matches(t, arena, bindings))
                 }
                 _ => false,
             },
@@ -81,9 +79,9 @@ impl Pattern {
     /// (rewrite rules must not invent variables on the right-hand side).
     fn instantiate(&self, arena: &mut TermArena, bindings: &HashMap<String, TermId>) -> TermId {
         match self {
-            Pattern::Var(name) => *bindings
-                .get(name)
-                .unwrap_or_else(|| panic!("unbound pattern variable `{name}`")),
+            Pattern::Var(name) => {
+                *bindings.get(name).unwrap_or_else(|| panic!("unbound pattern variable `{name}`"))
+            }
             Pattern::Int(v) => arena.int(*v),
             Pattern::App(func, args) => {
                 let ids: Vec<TermId> =

@@ -194,12 +194,7 @@ impl Context {
         self.eval(goal, &mut cc, &arithmetic_facts)
     }
 
-    fn eval(
-        &mut self,
-        goal: &Formula,
-        cc: &mut CongruenceClosure,
-        facts: &[Formula],
-    ) -> Verdict {
+    fn eval(&mut self, goal: &Formula, cc: &mut CongruenceClosure, facts: &[Formula]) -> Verdict {
         match goal {
             Formula::Bool(true) => Verdict::Proved,
             Formula::Bool(false) => {
@@ -253,9 +248,9 @@ impl Context {
                 }
             }
             Formula::Not(inner) => match self.eval(inner, cc, facts) {
-                Verdict::Proved => Verdict::Refuted {
-                    explanation: "negated goal is provable".to_string(),
-                },
+                Verdict::Proved => {
+                    Verdict::Refuted { explanation: "negated goal is provable".to_string() }
+                }
                 Verdict::Refuted { .. } => Verdict::Proved,
                 unknown => unknown,
             },

@@ -36,7 +36,10 @@ fn main() {
     let fixed_out = fixed.run(&circuit).unwrap().circuit;
     println!("Figure 8b circuit:            {} gates", circuit.size());
     println!("  buggy optimize_1q_gates  -> {} gates (conditioned gate merged!)", buggy_out.size());
-    println!("  fixed optimize_1q_gates  -> {} gates (run broken at the condition)", fixed_out.size());
+    println!(
+        "  fixed optimize_1q_gates  -> {} gates (run broken at the condition)",
+        fixed_out.size()
+    );
 
     // And the commutation bug on its counterexample circuit.
     let mut fig9 = Circuit::new(2);

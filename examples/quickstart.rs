@@ -22,9 +22,7 @@ fn main() {
     //    (DAG -> gate list -> DAG conversions around the verified library).
     let mut dag = DagCircuit::from_circuit(&circuit);
     let mut props = PropertySet::new();
-    QiskitWrapper::new(CxCancellation)
-        .run(&mut dag, &mut props)
-        .expect("pass execution succeeds");
+    QiskitWrapper::new(CxCancellation).run(&mut dag, &mut props).expect("pass execution succeeds");
     let optimized = dag.to_circuit().expect("DAG converts back to a circuit");
     println!("after CXCancellation ({} gates):\n{optimized}", optimized.size());
 

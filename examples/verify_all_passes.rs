@@ -6,12 +6,21 @@
 
 use std::collections::BTreeMap;
 
+use std::time::Instant;
+
 use giallar::core::registry::verified_passes;
-use giallar::core::verifier::{render_table2, verify_all_passes};
+use giallar::core::verifier::{
+    render_table2, reports_agree, verify_all_passes, verify_all_passes_parallel,
+};
 use giallar::symbolic::{circuit_rewrite_rules, RuleClass};
 
 fn main() {
+    // Warm up once untimed so the sequential/parallel comparison below is not
+    // biased by first-run allocation and cache effects.
+    let _ = verify_all_passes();
+    let start = Instant::now();
     let reports = verify_all_passes();
+    let sequential_seconds = start.elapsed().as_secs_f64();
     println!("=== Table 2: verification results for the 44 verified passes ===\n");
     println!("{}", render_table2(&reports));
 
@@ -20,6 +29,17 @@ fn main() {
     if let Some(failed) = reports.iter().find(|r| !r.verified) {
         println!("first failure: {} — {:?}", failed.name, failed.failure);
     }
+
+    // The same registry, verified with one worker per chunk of passes.
+    let start = Instant::now();
+    let parallel = verify_all_passes_parallel();
+    let parallel_seconds = start.elapsed().as_secs_f64();
+    assert!(reports_agree(&reports, &parallel), "parallel verdicts must match sequential");
+    println!(
+        "parallel re-verification: {parallel_seconds:.4}s vs {sequential_seconds:.4}s \
+         sequential ({:.2}x speedup), identical verdicts",
+        if parallel_seconds > 0.0 { sequential_seconds / parallel_seconds } else { 1.0 }
+    );
 
     // §8 "Reusability": rewrite-rule classes and loop templates shared across
     // passes.

@@ -22,11 +22,8 @@ fn baseline_pipeline_preserves_semantics_on_small_benchmarks() {
         // Embed the original circuit into the device register for comparison.
         let mut original = bench.circuit.clone();
         original.enlarge_to(device.num_qubits());
-        let final_layout = result
-            .properties
-            .final_layout
-            .clone()
-            .expect("routing records the final layout");
+        let final_layout =
+            result.properties.final_layout.clone().expect("routing records the final layout");
         assert!(
             equivalent_up_to_permutation(
                 &original,
@@ -71,8 +68,7 @@ fn compiled_ghz_still_prepares_ghz() {
     assert!(u.is_unitary(1e-9));
     // The state |000…0⟩ maps to an equal superposition of two basis states.
     let column: Vec<f64> = (0..u.rows()).map(|i| u[(i, 0)].abs()).collect();
-    let nonzero: Vec<usize> =
-        (0..column.len()).filter(|&i| column[i] > 1e-6).collect();
+    let nonzero: Vec<usize> = (0..column.len()).filter(|&i| column[i] > 1e-6).collect();
     assert_eq!(nonzero.len(), 2, "GHZ output must be a two-term superposition");
     for &i in &nonzero {
         assert!((column[i] - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-6);

@@ -75,10 +75,8 @@ fn symbolic_equivalence_is_sound_on_random_circuits() {
         let mut padded = base.clone();
         let q = rng.random_range(0..n);
         padded.h(q).h(q);
-        let verdict = check_equivalence(
-            &SymCircuit::from_circuit(&base),
-            &SymCircuit::from_circuit(&padded),
-        );
+        let verdict =
+            check_equivalence(&SymCircuit::from_circuit(&base), &SymCircuit::from_circuit(&padded));
         if verdict.is_proved() {
             proved += 1;
             assert!(circuits_equivalent(&base, &padded).unwrap());
@@ -128,9 +126,7 @@ fn symbolic_checker_rejects_known_inequivalences() {
     ];
     for (a, b) in cases {
         assert!(!circuits_equivalent(&a, &b).unwrap());
-        assert!(
-            !check_equivalence(&SymCircuit::from_circuit(&a), &SymCircuit::from_circuit(&b))
-                .is_proved()
-        );
+        assert!(!check_equivalence(&SymCircuit::from_circuit(&a), &SymCircuit::from_circuit(&b))
+            .is_proved());
     }
 }

@@ -1,0 +1,191 @@
+//! Vendored shim for the `criterion` API surface this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched.  This shim keeps criterion's macro and builder shape
+//! (`criterion_group!`/`criterion_main!`, `benchmark_group`, `sample_size`,
+//! `measurement_time`, `warm_up_time`, `bench_function`, `Bencher::iter`) and
+//! measures simple wall-clock means: enough for the relative comparisons the
+//! paper's tables need (sequential vs parallel verification, matrix vs
+//! symbolic checking, baseline vs verified compilation) without statistical
+//! machinery.  Swapping in real criterion later is a Cargo.toml-only change.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Returns `value` while preventing the optimizer from deleting the
+/// computation that produced it.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Result of timing one benchmark function.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Number of iterations executed.
+    pub iterations: u64,
+    /// Total wall-clock time across all iterations.
+    pub total: Duration,
+}
+
+impl Measurement {
+    /// Mean time per iteration in nanoseconds.
+    pub fn mean_nanos(&self) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            self.total.as_nanos() as f64 / self.iterations as f64
+        }
+    }
+}
+
+fn format_nanos(nanos: f64) -> String {
+    if nanos >= 1e9 {
+        format!("{:.3} s", nanos / 1e9)
+    } else if nanos >= 1e6 {
+        format!("{:.3} ms", nanos / 1e6)
+    } else if nanos >= 1e3 {
+        format!("{:.3} µs", nanos / 1e3)
+    } else {
+        format!("{nanos:.0} ns")
+    }
+}
+
+/// Per-benchmark timing driver handed to `bench_function` closures.
+pub struct Bencher {
+    sample_size: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    last: Option<Measurement>,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly until the configured sample
+    /// count and measurement budget are satisfied.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run without recording until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        let mut iterations = 0u64;
+        let mut total = Duration::ZERO;
+        while iterations < self.sample_size && total < self.measurement_time {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iterations += 1;
+        }
+        self.last = Some(Measurement { iterations, total });
+    }
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (iterations) per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples as u64;
+        self
+    }
+
+    /// Sets the measurement budget per benchmark.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement_time = duration;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up_time = duration;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            last: None,
+        };
+        f(&mut bencher);
+        let label = format!("{}/{}", self.name, id);
+        match bencher.last {
+            Some(m) => {
+                println!(
+                    "bench: {label:<56} {:>12}  ({} iters)",
+                    format_nanos(m.mean_nanos()),
+                    m.iterations
+                );
+                self.criterion.results.push((label, m));
+            }
+            None => println!("bench: {label:<56} (no measurement recorded)"),
+        }
+        self
+    }
+
+    /// Ends the group (kept for API parity; measurements print eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    /// All measurements recorded so far, in execution order.
+    pub results: Vec<(String, Measurement)>,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+            criterion: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<N: std::fmt::Display, F>(&mut self, id: N, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.to_string();
+        self.benchmark_group(name.clone()).bench_function("default", f);
+        self
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

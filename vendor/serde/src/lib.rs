@@ -1,0 +1,20 @@
+//! Vendored shim for `serde`.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched.  This shim provides the two trait names and the derive macros the
+//! workspace imports (`use serde::{Deserialize, Serialize}` followed by
+//! `#[derive(Serialize, Deserialize)]`).  The derives are no-ops — see
+//! `vendor/serde_derive` — and the traits are empty markers: the workspace
+//! renders its JSON output by hand (`bench::json`), so no serde trait
+//! machinery is exercised.  Swapping in the real serde later is a
+//! Cargo.toml-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

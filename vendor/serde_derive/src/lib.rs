@@ -1,0 +1,23 @@
+//! Vendored shim for `serde_derive`.
+//!
+//! The build environment has no network access, so the real crate (and its
+//! `syn`/`quote` dependency tree) cannot be fetched.  The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as metadata on its public data types —
+//! nothing serializes through serde's trait machinery (JSON emitted by the
+//! bench harness is rendered by hand) — so the derives expand to nothing.
+//! Swapping in the real `serde`/`serde_derive` later is a Cargo.toml-only
+//! change.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
