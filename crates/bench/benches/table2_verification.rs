@@ -7,7 +7,10 @@
 
 use std::path::Path;
 
-use bench::{measure_verification_speedup, table2_reports, table2_reports_parallel, table2_text};
+use bench::{
+    measure_verification_speedup, table2_artifact_json, table2_reports, table2_reports_parallel,
+    table2_text,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use giallar_core::registry::verified_passes;
 use giallar_core::verifier::verify_pass;
@@ -19,9 +22,13 @@ fn record_speedup() {
          ({:.2}x speedup) ===",
         speedup.sequential_seconds, speedup.parallel_seconds, speedup.threads, speedup.speedup
     );
+    println!("{}", speedup.to_json());
+    // The committed artifact is the *deterministic* form (no timing section)
+    // produced by `bench::table2_artifact_json` — the same writer the
+    // `giallar bench` subcommand uses, so harness and artifact cannot drift.
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_table2_verification.json");
-    match std::fs::write(&path, speedup.to_json()) {
-        Ok(()) => println!("recorded speedup to {}", path.display()),
+    match std::fs::write(&path, table2_artifact_json(&table2_reports(), None)) {
+        Ok(()) => println!("recorded Table 2 artifact to {}", path.display()),
         Err(error) => println!("could not record {}: {error}", path.display()),
     }
 }

@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use giallar_core::json::Value;
 use giallar_core::verifier::{
     render_table2, reports_agree, verify_all_passes, verify_all_passes_parallel, PassReport,
 };
@@ -99,6 +100,84 @@ impl VerificationSpeedup {
             self.passes, self.threads, self.sequential_seconds, self.parallel_seconds, self.speedup
         )
     }
+}
+
+/// The canonical Table 2 artifact (`BENCH_table2_verification.json`).
+///
+/// The deterministic core — pass names, subgoal counts, verdicts, and the
+/// rewrite-rule library fingerprint — is always present, so the committed
+/// artifact is byte-stable across machines and re-runs; a machine-dependent
+/// `timing` section is appended only when a measurement is supplied.  Both
+/// the `giallar bench` subcommand and the Criterion harness emit their
+/// artifact through this one function, so the two can never drift.
+pub fn table2_artifact_json(
+    reports: &[PassReport],
+    timing: Option<&VerificationSpeedup>,
+) -> String {
+    let verified = reports.iter().filter(|r| r.verified).count();
+    let total_subgoals: usize = reports.iter().map(|r| r.subgoals).sum();
+    let mut members = vec![
+        ("benchmark", Value::String("table2_verification".to_string())),
+        ("schema", Value::String("giallar-bench/v2".to_string())),
+        ("passes", Value::Int(reports.len() as i64)),
+        ("verified", Value::Int(verified as i64)),
+        ("total_subgoals", Value::Int(total_subgoals as i64)),
+        (
+            "rule_library_fingerprint",
+            Value::String(qc_symbolic::rule_library_fingerprint().to_hex()),
+        ),
+        ("reports", Value::Array(reports.iter().map(|r| r.to_json_value(false)).collect())),
+    ];
+    if let Some(speedup) = timing {
+        members.push((
+            "timing",
+            Value::object(vec![
+                ("sequential_seconds", Value::Float(speedup.sequential_seconds)),
+                ("parallel_seconds", Value::Float(speedup.parallel_seconds)),
+                ("speedup", Value::Float(speedup.speedup)),
+                ("threads", Value::Int(speedup.threads as i64)),
+            ]),
+        ));
+    }
+    Value::object(members).to_pretty()
+}
+
+/// The canonical Figure 11 artifact (`BENCH_figure11_compilation.json`).
+///
+/// Circuit names, widths, and gate counts are deterministic for a fixed
+/// device and seed; per-row wall-clock columns are included only with
+/// `include_timings`, so the committed artifact stays byte-stable.
+pub fn figure11_artifact_json(
+    device: &str,
+    seed: u64,
+    rows: &[Figure11Row],
+    include_timings: bool,
+) -> String {
+    let rows_json: Vec<Value> = rows
+        .iter()
+        .map(|row| {
+            let mut members = vec![
+                ("name", Value::String(row.name.clone())),
+                ("qubits", Value::Int(row.qubits as i64)),
+                ("gates", Value::Int(row.gates as i64)),
+            ];
+            if include_timings {
+                members.push(("qiskit_seconds", Value::Float(row.qiskit_seconds)));
+                members.push(("giallar_seconds", Value::Float(row.giallar_seconds)));
+                members.push(("overhead", Value::Float(row.overhead())));
+            }
+            Value::object(members)
+        })
+        .collect();
+    Value::object(vec![
+        ("benchmark", Value::String("figure11_compilation".to_string())),
+        ("schema", Value::String("giallar-bench/v2".to_string())),
+        ("device", Value::String(device.to_string())),
+        ("seed", Value::Int(seed as i64)),
+        ("circuits", Value::Int(rows.len() as i64)),
+        ("rows", Value::Array(rows_json)),
+    ])
+    .to_pretty()
 }
 
 /// One row of the Figure 11 comparison.
@@ -265,6 +344,38 @@ mod tests {
         let json = speedup.to_json();
         assert!(json.contains("\"speedup\""));
         assert!(json.contains("\"passes\": 44"));
+    }
+
+    #[test]
+    fn table2_artifact_is_deterministic_and_parses() {
+        let reports = table2_reports();
+        let first = table2_artifact_json(&reports, None);
+        let second = table2_artifact_json(&table2_reports(), None);
+        assert_eq!(first, second, "artifact must be byte-stable without timings");
+        let doc = giallar_core::json::parse(&first).unwrap();
+        assert_eq!(doc.get("passes").and_then(Value::as_int), Some(44));
+        assert_eq!(doc.get("verified").and_then(Value::as_int), Some(44));
+        assert_eq!(doc.get("reports").and_then(Value::as_array).map(<[Value]>::len), Some(44));
+        assert!(!first.contains("timing"));
+        // With a measurement attached the timing section appears.
+        let speedup = measure_verification_speedup(1);
+        let timed = table2_artifact_json(&reports, Some(&speedup));
+        let doc = giallar_core::json::parse(&timed).unwrap();
+        assert!(doc.get("timing").is_some());
+    }
+
+    #[test]
+    fn figure11_artifact_is_deterministic_and_parses() {
+        let device = CouplingMap::grid(2, 3);
+        let rows = figure11_rows(&device, 5);
+        let first = figure11_artifact_json("grid:2x3", 5, &rows, false);
+        let second = figure11_artifact_json("grid:2x3", 5, &figure11_rows(&device, 5), false);
+        assert_eq!(first, second, "artifact must be byte-stable without timings");
+        let doc = giallar_core::json::parse(&first).unwrap();
+        assert_eq!(doc.get("device").and_then(Value::as_str), Some("grid:2x3"));
+        assert!(!first.contains("qiskit_seconds"));
+        let timed = figure11_artifact_json("grid:2x3", 5, &rows, true);
+        assert!(timed.contains("qiskit_seconds"));
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! `giallar bench` — regenerate the committed benchmark artifacts.
+//!
+//! Emits `BENCH_table2_verification.json` and
+//! `BENCH_figure11_compilation.json` through the same writers the Criterion
+//! harness uses (`bench::table2_artifact_json` /
+//! `bench::figure11_artifact_json`), so the committed artifacts and the
+//! bench harness cannot drift.  Output is deterministic by default —
+//! machine-dependent timing sections are added only with `--timings`.
+
+use std::path::PathBuf;
+
+use bench::{figure11_artifact_json, figure11_rows, measure_verification_speedup, table2_reports};
+use qc_ir::CouplingMap;
+
+use crate::{value_of, CmdError, CmdResult};
+
+/// Runs `giallar bench`.
+pub fn run(args: &[String]) -> CmdResult {
+    let mut out_dir = PathBuf::from(".");
+    let mut seed = 7u64;
+    let mut timings = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => out_dir = PathBuf::from(value_of(args, &mut i, "--out")?),
+            "--seed" => {
+                seed = value_of(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| CmdError::Usage("--seed: invalid seed".to_string()))?
+            }
+            "--timings" => timings = true,
+            other => return Err(CmdError::Usage(format!("bench: unknown option `{other}`"))),
+        }
+        i += 1;
+    }
+
+    std::fs::create_dir_all(&out_dir).map_err(|error| {
+        CmdError::Failed(format!("creating output dir {}: {error}", out_dir.display()))
+    })?;
+
+    // Table 2: verify the full registry, then render the artifact.
+    let reports = table2_reports();
+    let verified = reports.iter().filter(|r| r.verified).count();
+    let speedup = if timings { Some(measure_verification_speedup(3)) } else { None };
+    let table2 = bench::table2_artifact_json(&reports, speedup.as_ref());
+    let table2_path = out_dir.join("BENCH_table2_verification.json");
+    std::fs::write(&table2_path, &table2)
+        .map_err(|error| CmdError::Failed(format!("writing {}: {error}", table2_path.display())))?;
+    println!("wrote {} ({} passes, {verified} verified)", table2_path.display(), reports.len());
+
+    // Figure 11: compile the QASMBench suite on the paper's 27-qubit device.
+    let device = CouplingMap::falcon27();
+    let rows = figure11_rows(&device, seed);
+    let figure11 = figure11_artifact_json("falcon27", seed, &rows, timings);
+    let figure11_path = out_dir.join("BENCH_figure11_compilation.json");
+    std::fs::write(&figure11_path, &figure11).map_err(|error| {
+        CmdError::Failed(format!("writing {}: {error}", figure11_path.display()))
+    })?;
+    println!("wrote {} ({} circuits compiled)", figure11_path.display(), rows.len());
+
+    if verified != reports.len() {
+        return Err(CmdError::Failed(format!(
+            "artifacts written, but only {verified} of {} passes verified",
+            reports.len()
+        )));
+    }
+    Ok(())
+}

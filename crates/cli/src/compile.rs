@@ -1,0 +1,194 @@
+//! `giallar compile` — run the baseline transpiler on a circuit and report
+//! compilation stats.
+
+use std::path::Path;
+use std::time::Instant;
+
+use giallar_core::json::Value;
+use giallar_core::wrapper::baseline_transpile;
+use qc_ir::{Circuit, CouplingMap};
+
+use crate::{value_of, CmdError, CmdResult};
+
+enum Format {
+    Table,
+    Json,
+}
+
+/// Parses a device spec: `falcon27`, `line:<n>`, or `grid:<r>x<c>`.
+fn parse_device(spec: &str) -> Result<CouplingMap, CmdError> {
+    if spec == "falcon27" {
+        return Ok(CouplingMap::falcon27());
+    }
+    if let Some(n) = spec.strip_prefix("line:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| CmdError::Usage(format!("--device: bad line size in `{spec}`")))?;
+        if n == 0 {
+            return Err(CmdError::Usage("--device: line needs at least 1 qubit".to_string()));
+        }
+        return Ok(CouplingMap::line(n));
+    }
+    if let Some(dims) = spec.strip_prefix("grid:") {
+        if let Some((rows, cols)) = dims.split_once('x') {
+            let rows: usize = rows
+                .parse()
+                .map_err(|_| CmdError::Usage(format!("--device: bad grid rows in `{spec}`")))?;
+            let cols: usize = cols
+                .parse()
+                .map_err(|_| CmdError::Usage(format!("--device: bad grid cols in `{spec}`")))?;
+            if rows == 0 || cols == 0 {
+                return Err(CmdError::Usage("--device: grid dims must be positive".to_string()));
+            }
+            return Ok(CouplingMap::grid(rows, cols));
+        }
+    }
+    Err(CmdError::Usage(format!(
+        "--device: unknown device `{spec}` (expected falcon27, line:<n>, or grid:<r>x<c>)"
+    )))
+}
+
+/// Loads the input circuit: a `.qasm` file path, or a named QASMBench
+/// circuit from the built-in suite.
+fn load_circuit(input: &str) -> Result<(String, Circuit), CmdError> {
+    let path = Path::new(input);
+    if input.ends_with(".qasm") || path.is_file() {
+        let source = std::fs::read_to_string(path)
+            .map_err(|error| CmdError::Failed(format!("reading {input}: {error}")))?;
+        let circuit = qc_ir::qasm::from_qasm(&source)
+            .map_err(|error| CmdError::Failed(format!("parsing {input}: {error:?}")))?;
+        let name = path
+            .file_stem()
+            .map_or_else(|| input.to_string(), |s| s.to_string_lossy().into_owned());
+        return Ok((name, circuit));
+    }
+    qasmbench::benchmark_suite()
+        .into_iter()
+        .find(|bench| bench.name == input)
+        .map(|bench| (bench.name, bench.circuit))
+        .ok_or_else(|| {
+            CmdError::Usage(format!(
+                "compile: `{input}` is neither a QASM file nor a known circuit \
+                 (try `giallar compile --list`)"
+            ))
+        })
+}
+
+/// Runs `giallar compile`.
+pub fn run(args: &[String]) -> CmdResult {
+    let mut input: Option<String> = None;
+    let mut device_spec = "falcon27".to_string();
+    let mut seed = 7u64;
+    let mut format = Format::Table;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => device_spec = value_of(args, &mut i, "--device")?,
+            "--seed" => {
+                seed = value_of(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| CmdError::Usage("--seed: invalid seed".to_string()))?
+            }
+            "--format" => {
+                format = match value_of(args, &mut i, "--format")?.as_str() {
+                    "table" => Format::Table,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(CmdError::Usage(format!("--format: unknown format `{other}`")))
+                    }
+                }
+            }
+            "--list" => {
+                for bench in qasmbench::benchmark_suite() {
+                    println!(
+                        "{:<16} {:>3} qubits {:>5} gates",
+                        bench.name,
+                        bench.circuit.num_qubits(),
+                        bench.circuit.size()
+                    );
+                }
+                return Ok(());
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CmdError::Usage(format!("compile: unknown option `{flag}`")))
+            }
+            positional => {
+                if input.is_some() {
+                    return Err(CmdError::Usage("compile: more than one input given".to_string()));
+                }
+                input = Some(positional.to_string());
+            }
+        }
+        i += 1;
+    }
+    let input =
+        input.ok_or_else(|| CmdError::Usage("compile: missing input circuit".to_string()))?;
+    let (name, circuit) = load_circuit(&input)?;
+    let device = parse_device(&device_spec)?;
+    if circuit.num_qubits() > device.num_qubits() {
+        return Err(CmdError::Failed(format!(
+            "{name} needs {} qubits but device `{device_spec}` has {}",
+            circuit.num_qubits(),
+            device.num_qubits()
+        )));
+    }
+
+    let start = Instant::now();
+    let result = baseline_transpile(&circuit, &device, seed)
+        .map_err(|error| CmdError::Failed(format!("compiling {name}: {error:?}")))?;
+    let seconds = start.elapsed().as_secs_f64();
+    let swap_mapped = result.properties.get_bool("is_swap_mapped");
+
+    match format {
+        Format::Table => {
+            println!("circuit:        {name}");
+            println!("device:         {device_spec} ({} qubits)", device.num_qubits());
+            println!("seed:           {seed}");
+            println!(
+                "input:          {} qubits, {} gates, depth {}",
+                circuit.num_qubits(),
+                circuit.size(),
+                circuit.depth()
+            );
+            println!(
+                "output:         {} qubits, {} gates, depth {}",
+                result.circuit.num_qubits(),
+                result.circuit.size(),
+                result.circuit.depth()
+            );
+            println!(
+                "swap mapped:    {}",
+                swap_mapped.map_or("unknown".to_string(), |b| b.to_string())
+            );
+            println!("compile time:   {:.2} ms", seconds * 1e3);
+        }
+        Format::Json => {
+            let doc = Value::object(vec![
+                ("schema", Value::String("giallar-compile/v1".to_string())),
+                ("circuit", Value::String(name)),
+                ("device", Value::String(device_spec)),
+                ("seed", Value::Int(seed as i64)),
+                (
+                    "input",
+                    Value::object(vec![
+                        ("qubits", Value::Int(circuit.num_qubits() as i64)),
+                        ("gates", Value::Int(circuit.size() as i64)),
+                        ("depth", Value::Int(circuit.depth() as i64)),
+                    ]),
+                ),
+                (
+                    "output",
+                    Value::object(vec![
+                        ("qubits", Value::Int(result.circuit.num_qubits() as i64)),
+                        ("gates", Value::Int(result.circuit.size() as i64)),
+                        ("depth", Value::Int(result.circuit.depth() as i64)),
+                    ]),
+                ),
+                ("swap_mapped", swap_mapped.map_or(Value::Null, Value::Bool)),
+                ("seconds", Value::Float(seconds)),
+            ]);
+            print!("{}", doc.to_pretty());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,104 @@
+//! The `giallar` command line.
+//!
+//! The first-class entry point to the Giallar reproduction — what a CI job
+//! or a user drives instead of the examples:
+//!
+//! * `giallar verify` — push-button verification of the 44-pass registry
+//!   (or one pass), optionally through the incremental verification cache,
+//!   with `table`, `markdown`, or `json` output and a nonzero exit code on
+//!   any unverified pass.
+//! * `giallar compile` — run the baseline transpiler on an OpenQASM file or
+//!   a named QASMBench circuit and print compilation stats.
+//! * `giallar bench` — emit the Table 2 / Figure 11 JSON artifacts
+//!   deterministically (the committed `BENCH_*.json` files).
+//!
+//! Exit codes: `0` success, `1` verification/compilation failure or a failed
+//! `--expect-passes` / `--min-cache-hits` assertion, `2` usage error.
+
+mod bench_cmd;
+mod compile;
+mod verify;
+
+use std::process::ExitCode;
+
+/// How a subcommand failed, mapped to the process exit code.
+pub enum CmdError {
+    /// Bad invocation (unknown flag, missing value, unknown pass) — exit 2.
+    Usage(String),
+    /// The command ran and the result is a failure (unverified pass,
+    /// pass-count drift, missed cache-hit floor, I/O error) — exit 1.
+    Failed(String),
+}
+
+/// Result type shared by all subcommands.
+pub type CmdResult = Result<(), CmdError>;
+
+/// Pops the value of `--flag value`, advancing the cursor.
+pub fn value_of(args: &[String], index: &mut usize, flag: &str) -> Result<String, CmdError> {
+    *index += 1;
+    args.get(*index).cloned().ok_or_else(|| CmdError::Usage(format!("{flag} needs a value")))
+}
+
+/// Parses the value of a numeric flag.
+pub fn parse_count(value: &str, flag: &str) -> Result<usize, CmdError> {
+    value.parse::<usize>().map_err(|_| CmdError::Usage(format!("{flag}: invalid count `{value}`")))
+}
+
+const USAGE: &str =
+    "giallar — push-button verification for the Qiskit compiler (PLDI 2022 reproduction)
+
+USAGE:
+    giallar <SUBCOMMAND> [OPTIONS]
+
+SUBCOMMANDS:
+    verify     verify the 44-pass registry (all passes or --pass <name>)
+        --pass <name>          verify a single pass
+        --format <fmt>         table (default) | markdown | json
+        --jobs <n>             worker threads for obligation discharge
+        --cache <file>         incremental verification cache (JSON; created
+                               when missing, re-discharges only passes whose
+                               obligation fingerprint changed)
+        --deterministic        omit machine-dependent timing from the output
+        --expect-passes <n>    fail unless exactly n passes were verified
+        --min-cache-hits <n>   fail unless the cache answered >= n passes
+    compile    compile an OpenQASM file or a named QASMBench circuit
+        <input>                path to a .qasm file, or a circuit name
+                               (e.g. qft_16; see --list)
+        --device <dev>         falcon27 (default) | line:<n> | grid:<r>x<c>
+        --seed <n>             routing seed (default 7)
+        --format <fmt>         table (default) | json
+        --list                 list the available named circuits
+    bench      regenerate the committed benchmark artifacts
+        --out <dir>            output directory (default: .)
+        --seed <n>             Figure 11 routing seed (default 7)
+        --timings              include machine-dependent timing sections
+
+Exit codes: 0 success, 1 failure, 2 usage error.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("verify") => verify::run(&args[1..]),
+        Some("compile") => compile::run(&args[1..]),
+        Some("bench") => bench_cmd::run(&args[1..]),
+        Some("--help") | Some("-h") | Some("help") => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(CmdError::Usage(format!("unknown subcommand `{other}`"))),
+        None => Err(CmdError::Usage("missing subcommand".to_string())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CmdError::Failed(message)) => {
+            eprintln!("error: {message}");
+            ExitCode::from(1)
+        }
+        Err(CmdError::Usage(message)) => {
+            eprintln!("usage error: {message}\n");
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

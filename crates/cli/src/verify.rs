@@ -1,0 +1,249 @@
+//! `giallar verify` — registry verification with optional incremental cache.
+
+use std::path::PathBuf;
+
+use giallar_core::cache::VerdictCache;
+use giallar_core::json::Value;
+use giallar_core::registry::{verified_passes, VerifiedPass};
+use giallar_core::verifier::{render_table2, verify_passes_cached, PassReport};
+
+use crate::{parse_count, value_of, CmdError, CmdResult};
+
+enum Format {
+    Table,
+    Markdown,
+    Json,
+}
+
+struct Options {
+    pass_filter: Option<String>,
+    format: Format,
+    jobs: Option<usize>,
+    cache_path: Option<PathBuf>,
+    deterministic: bool,
+    expect_passes: Option<usize>,
+    min_cache_hits: Option<usize>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, CmdError> {
+    let mut options = Options {
+        pass_filter: None,
+        format: Format::Table,
+        jobs: None,
+        cache_path: None,
+        deterministic: false,
+        expect_passes: None,
+        min_cache_hits: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pass" => options.pass_filter = Some(value_of(args, &mut i, "--pass")?),
+            "--format" => {
+                options.format = match value_of(args, &mut i, "--format")?.as_str() {
+                    "table" => Format::Table,
+                    "markdown" => Format::Markdown,
+                    "json" => Format::Json,
+                    other => {
+                        return Err(CmdError::Usage(format!("--format: unknown format `{other}`")))
+                    }
+                }
+            }
+            "--jobs" => {
+                let jobs = parse_count(&value_of(args, &mut i, "--jobs")?, "--jobs")?;
+                if jobs == 0 {
+                    return Err(CmdError::Usage("--jobs must be at least 1".to_string()));
+                }
+                options.jobs = Some(jobs);
+            }
+            "--cache" => {
+                options.cache_path = Some(PathBuf::from(value_of(args, &mut i, "--cache")?))
+            }
+            "--deterministic" => options.deterministic = true,
+            "--expect-passes" => {
+                options.expect_passes = Some(parse_count(
+                    &value_of(args, &mut i, "--expect-passes")?,
+                    "--expect-passes",
+                )?)
+            }
+            "--min-cache-hits" => {
+                options.min_cache_hits = Some(parse_count(
+                    &value_of(args, &mut i, "--min-cache-hits")?,
+                    "--min-cache-hits",
+                )?)
+            }
+            other => return Err(CmdError::Usage(format!("verify: unknown option `{other}`"))),
+        }
+        i += 1;
+    }
+    Ok(options)
+}
+
+/// Runs `giallar verify`.
+pub fn run(args: &[String]) -> CmdResult {
+    let options = parse_options(args)?;
+    if let Some(jobs) = options.jobs {
+        // The vendored rayon shim sizes its scoped-thread pool from
+        // RAYON_NUM_THREADS at call time; no worker threads exist yet here.
+        std::env::set_var("RAYON_NUM_THREADS", jobs.to_string());
+    }
+
+    let passes: Vec<VerifiedPass> = verified_passes()
+        .into_iter()
+        .filter(|p| options.pass_filter.as_deref().is_none_or(|f| p.name == f))
+        .collect();
+    if passes.is_empty() {
+        let known: Vec<&str> = verified_passes().iter().map(|p| p.name).collect();
+        return Err(CmdError::Usage(format!(
+            "verify: unknown pass `{}`; known passes: {}",
+            options.pass_filter.unwrap_or_default(),
+            known.join(", ")
+        )));
+    }
+
+    let mut cache = match &options.cache_path {
+        Some(path) => match VerdictCache::load(path) {
+            Ok(cache) => cache,
+            Err(error) => {
+                eprintln!(
+                    "warning: ignoring unreadable cache {} ({error}); starting empty",
+                    path.display()
+                );
+                VerdictCache::new()
+            }
+        },
+        None => VerdictCache::new(),
+    };
+
+    let reports = verify_passes_cached(&passes, &mut cache);
+
+    // The report comes first, and a failure to persist the cache is a
+    // warning, not a failed verification: the verdicts are already in hand,
+    // and exit code 1 must keep meaning "a pass did not verify" (a later
+    // warm run gated on --min-cache-hits will still surface the cold cache).
+    print!("{}", render(&reports, &options));
+    if let Some(path) = &options.cache_path {
+        match cache.save(path) {
+            Ok(()) => eprintln!(
+                "cache {}: {} hits, {} misses ({} entries stored)",
+                path.display(),
+                cache.hits(),
+                cache.misses(),
+                cache.len()
+            ),
+            Err(error) => {
+                eprintln!("warning: could not save cache {}: {error}", path.display())
+            }
+        }
+    }
+
+    let verified = reports.iter().filter(|r| r.verified).count();
+    if let Some(first) = reports.iter().find(|r| !r.verified) {
+        return Err(CmdError::Failed(format!(
+            "{} of {} passes failed verification; first: {} — {}",
+            reports.len() - verified,
+            reports.len(),
+            first.name,
+            first.failure.as_deref().unwrap_or("no counterexample recorded")
+        )));
+    }
+    if let Some(expected) = options.expect_passes {
+        if reports.len() != expected {
+            return Err(CmdError::Failed(format!(
+                "pass-count drift: expected {expected} verified passes, got {}",
+                reports.len()
+            )));
+        }
+    }
+    if let Some(floor) = options.min_cache_hits {
+        if cache.hits() < floor {
+            return Err(CmdError::Failed(format!(
+                "cache hits below floor: {} < {floor} (cache invalidation bug, or a cold cache \
+                 where a warm one was expected)",
+                cache.hits()
+            )));
+        }
+    }
+    Ok(())
+}
+
+fn render(reports: &[PassReport], options: &Options) -> String {
+    let verified = reports.iter().filter(|r| r.verified).count();
+    match options.format {
+        Format::Table => {
+            let mut out = if options.deterministic {
+                // No machine-dependent columns: two runs with equal verdicts
+                // must render byte-identically.
+                let mut out = format!(
+                    "{:<32} {:>8} {:>10}  {}\n",
+                    "Pass name", "Pass LOC", "#subgoals", "verified"
+                );
+                for report in reports {
+                    out.push_str(&format!(
+                        "{:<32} {:>8} {:>10}  {}\n",
+                        report.name,
+                        report.pass_loc,
+                        report.subgoals,
+                        if report.verified { "yes" } else { "NO" }
+                    ));
+                }
+                out
+            } else {
+                render_table2(reports)
+            };
+            out.push_str(&format!(
+                "\nverified {verified} / {} passes (rule library {})\n",
+                reports.len(),
+                qc_symbolic::rule_library_fingerprint()
+            ));
+            out
+        }
+        Format::Markdown => {
+            let mut out = String::new();
+            if options.deterministic {
+                out.push_str("| Pass | LOC | Subgoals | Verified |\n");
+                out.push_str("|---|---:|---:|---|\n");
+            } else {
+                out.push_str("| Pass | LOC | Subgoals | Time (s) | Verified |\n");
+                out.push_str("|---|---:|---:|---:|---|\n");
+            }
+            for report in reports {
+                let verdict = if report.verified {
+                    "yes".to_string()
+                } else {
+                    format!("**NO** — {}", report.failure.as_deref().unwrap_or(""))
+                };
+                if options.deterministic {
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {} |\n",
+                        report.name, report.pass_loc, report.subgoals, verdict
+                    ));
+                } else {
+                    out.push_str(&format!(
+                        "| {} | {} | {} | {:.3} | {} |\n",
+                        report.name, report.pass_loc, report.subgoals, report.time_seconds, verdict
+                    ));
+                }
+            }
+            out.push_str(&format!("\nverified {verified} / {} passes\n", reports.len()));
+            out
+        }
+        Format::Json => Value::object(vec![
+            ("schema", Value::String("giallar-verify/v1".to_string())),
+            (
+                "rule_library_fingerprint",
+                Value::String(qc_symbolic::rule_library_fingerprint().to_hex()),
+            ),
+            ("passes", Value::Int(reports.len() as i64)),
+            ("verified", Value::Int(verified as i64)),
+            ("all_verified", Value::Bool(verified == reports.len())),
+            (
+                "reports",
+                Value::Array(
+                    reports.iter().map(|r| r.to_json_value(!options.deterministic)).collect(),
+                ),
+            ),
+        ])
+        .to_pretty(),
+    }
+}

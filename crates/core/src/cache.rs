@@ -1,0 +1,439 @@
+//! The incremental verification cache.
+//!
+//! Giallar's pitch is push-button *re*-verification on every compiler change
+//! (§1 of the paper), but re-discharging all obligations of all 44 passes on
+//! every run does not scale as the registry and rule library grow.  This
+//! module caches per-pass verdicts keyed by a **stable content fingerprint**
+//! of everything a verdict depends on:
+//!
+//! * the pass metadata (name, virtual class, family, reported LOC, loop
+//!   templates),
+//! * the canonical serialization of every generated [`ProofObligation`]
+//!   (see [`crate::serialize`]), and
+//! * the rewrite-rule library fingerprint of
+//!   [`qc_symbolic::rule_library_fingerprint`] — a cached verdict is only
+//!   valid for the rule library it was discharged under.
+//!
+//! [`crate::verifier::verify_all_passes_cached`] consults the cache and
+//! re-discharges only passes whose fingerprint changed, producing reports
+//! identical (modulo timing) to the uncached path.  The cache persists to a
+//! JSON file (see [`VerdictCache::to_json`] for the format) so CI and local
+//! runs can reuse verdicts across processes.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use smtlite::{Fingerprint, FingerprintBuilder};
+
+use crate::json::{self, Value};
+use crate::obligation::ProofObligation;
+use crate::registry::VerifiedPass;
+use crate::serialize::obligation_canonical_form;
+use crate::verifier::PassReport;
+
+/// Version of the cache file format; bump on any breaking schema change so
+/// stale files are discarded instead of misread.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// The stable fingerprint of one pass's obligation set: pass metadata plus
+/// every obligation's canonical form plus the rule-library fingerprint.
+pub fn pass_fingerprint(
+    pass: &VerifiedPass,
+    obligations: &[ProofObligation],
+    rule_library: Fingerprint,
+) -> Fingerprint {
+    let mut builder = FingerprintBuilder::new();
+    builder.write_str("giallar-pass");
+    builder.write_u64(u64::from(CACHE_FORMAT_VERSION));
+    builder.write_u64(rule_library.0);
+    builder.write_str(pass.name);
+    builder.write_str(&format!("{:?}", pass.class));
+    builder.write_str(&format!("{:?}", pass.family));
+    builder.write_u64(pass.pass_loc as u64);
+    for template in &pass.templates {
+        builder.write_str(&format!("{template:?}"));
+    }
+    builder.write_u64(obligations.len() as u64);
+    for obligation in obligations {
+        builder.write_str(&obligation_canonical_form(obligation));
+    }
+    builder.finish()
+}
+
+/// One cached verdict.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// Fingerprint of the obligation set the verdict was discharged for.
+    pub fingerprint: Fingerprint,
+    /// Pass LOC recorded in the report.
+    pub pass_loc: usize,
+    /// Number of subgoals discharged.
+    pub subgoals: usize,
+    /// Whether every subgoal was discharged.
+    pub verified: bool,
+    /// Failure description, when verification failed.
+    pub failure: Option<String>,
+    /// Wall-clock seconds of the original (cold) discharge.
+    pub time_seconds: f64,
+}
+
+impl CacheEntry {
+    fn report(&self, name: &str) -> PassReport {
+        PassReport {
+            name: name.to_string(),
+            pass_loc: self.pass_loc,
+            subgoals: self.subgoals,
+            time_seconds: self.time_seconds,
+            verified: self.verified,
+            failure: self.failure.clone(),
+        }
+    }
+}
+
+/// A persistent map from pass name to cached verdict, tagged with the rule
+/// library fingerprint all entries were discharged under.
+#[derive(Debug, Clone)]
+pub struct VerdictCache {
+    rule_library: Fingerprint,
+    entries: BTreeMap<String, CacheEntry>,
+    hits: usize,
+    misses: usize,
+}
+
+impl VerdictCache {
+    /// An empty cache bound to the current rewrite-rule library.
+    pub fn new() -> Self {
+        VerdictCache {
+            rule_library: qc_symbolic::rule_library_fingerprint(),
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Loads a cache from `path`.  A missing file yields an empty cache; a
+    /// file written under a different format version or rule library is
+    /// discarded wholesale (every entry would be stale anyway).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unreadable files or unparseable JSON.
+    pub fn load(path: &Path) -> io::Result<Self> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => VerdictCache::from_json(&text)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e)),
+            Err(error) if error.kind() == io::ErrorKind::NotFound => Ok(VerdictCache::new()),
+            Err(error) => Err(error),
+        }
+    }
+
+    /// Persists the cache to `path` (atomically: write-new then rename).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// Parses a cache from its JSON form.  Entries recorded under a
+    /// different format version or rewrite-rule library are discarded (the
+    /// cache comes back empty but valid).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let doc = json::parse(text)?;
+        let version =
+            doc.get("version").and_then(Value::as_int).ok_or("cache: missing `version`")?;
+        let recorded_library = doc
+            .get("rule_library_fingerprint")
+            .and_then(Value::as_str)
+            .and_then(Fingerprint::from_hex)
+            .ok_or("cache: missing `rule_library_fingerprint`")?;
+        let mut cache = VerdictCache::new();
+        if version != i64::from(CACHE_FORMAT_VERSION) || recorded_library != cache.rule_library {
+            // Format or rule-library drift: every cached verdict is stale.
+            return Ok(cache);
+        }
+        let Some(Value::Object(entries)) = doc.get("entries") else {
+            return Err("cache: missing `entries`".to_string());
+        };
+        for (name, entry) in entries {
+            let fingerprint = entry
+                .get("fingerprint")
+                .and_then(Value::as_str)
+                .and_then(Fingerprint::from_hex)
+                .ok_or_else(|| format!("cache entry `{name}`: bad fingerprint"))?;
+            let field = |key: &str| -> Result<i64, String> {
+                entry
+                    .get(key)
+                    .and_then(Value::as_int)
+                    .ok_or_else(|| format!("cache entry `{name}`: missing `{key}`"))
+            };
+            let verified = entry
+                .get("verified")
+                .and_then(Value::as_bool)
+                .ok_or_else(|| format!("cache entry `{name}`: missing `verified`"))?;
+            let failure = match entry.get("failure") {
+                None | Some(Value::Null) => None,
+                Some(Value::String(s)) => Some(s.clone()),
+                Some(_) => return Err(format!("cache entry `{name}`: bad `failure`")),
+            };
+            let time_seconds = entry
+                .get("time_seconds")
+                .and_then(Value::as_float)
+                .ok_or_else(|| format!("cache entry `{name}`: missing `time_seconds`"))?;
+            cache.entries.insert(
+                name.clone(),
+                CacheEntry {
+                    fingerprint,
+                    pass_loc: field("pass_loc")? as usize,
+                    subgoals: field("subgoals")? as usize,
+                    verified,
+                    failure,
+                    time_seconds,
+                },
+            );
+        }
+        Ok(cache)
+    }
+
+    /// Serializes the cache.  Format:
+    ///
+    /// ```json
+    /// {
+    ///   "version": 1,
+    ///   "rule_library_fingerprint": "16 hex digits",
+    ///   "entries": {
+    ///     "<pass name>": {
+    ///       "fingerprint": "16 hex digits",
+    ///       "pass_loc": 24, "subgoals": 4, "verified": true,
+    ///       "failure": null, "time_seconds": 0.0012
+    ///     }
+    ///   }
+    /// }
+    /// ```
+    pub fn to_json(&self) -> String {
+        let entries: Vec<(String, Value)> = self
+            .entries
+            .iter()
+            .map(|(name, entry)| {
+                (
+                    name.clone(),
+                    Value::object(vec![
+                        ("fingerprint", Value::String(entry.fingerprint.to_hex())),
+                        ("pass_loc", Value::Int(entry.pass_loc as i64)),
+                        ("subgoals", Value::Int(entry.subgoals as i64)),
+                        ("verified", Value::Bool(entry.verified)),
+                        (
+                            "failure",
+                            entry
+                                .failure
+                                .as_ref()
+                                .map_or(Value::Null, |f| Value::String(f.clone())),
+                        ),
+                        ("time_seconds", Value::Float(entry.time_seconds)),
+                    ]),
+                )
+            })
+            .collect();
+        Value::object(vec![
+            ("version", Value::Int(i64::from(CACHE_FORMAT_VERSION))),
+            ("rule_library_fingerprint", Value::String(self.rule_library.to_hex())),
+            ("entries", Value::Object(entries)),
+        ])
+        .to_pretty()
+    }
+
+    /// Looks up a cached report for `name` under `fingerprint`, counting a
+    /// hit or miss.  A stored entry with a different fingerprint is a miss
+    /// (the obligation set changed; the entry will be overwritten by
+    /// [`Self::record`]).
+    pub fn lookup(&mut self, name: &str, fingerprint: Fingerprint) -> Option<PassReport> {
+        match self.entries.get(name) {
+            Some(entry) if entry.fingerprint == fingerprint => {
+                self.hits += 1;
+                Some(entry.report(name))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Records a freshly discharged report under its fingerprint.
+    pub fn record(&mut self, fingerprint: Fingerprint, report: &PassReport) {
+        self.entries.insert(
+            report.name.clone(),
+            CacheEntry {
+                fingerprint,
+                pass_loc: report.pass_loc,
+                subgoals: report.subgoals,
+                verified: report.verified,
+                failure: report.failure.clone(),
+                time_seconds: report.time_seconds,
+            },
+        );
+    }
+
+    /// Cache hits since construction or the last [`Self::reset_stats`].
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Cache misses since construction or the last [`Self::reset_stats`].
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Clears the hit/miss counters (e.g. between a cold and a warm run).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache stores no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The rewrite-rule library fingerprint the entries are bound to.
+    pub fn rule_library_fingerprint(&self) -> Fingerprint {
+        self.rule_library
+    }
+
+    /// Test-only handle used to simulate fingerprint drift: overwrites the
+    /// stored fingerprint of `name`, as if the pass's obligation generator
+    /// had changed since the verdict was recorded.
+    #[doc(hidden)]
+    pub fn corrupt_fingerprint_for_test(&mut self, name: &str) -> bool {
+        match self.entries.get_mut(name) {
+            Some(entry) => {
+                entry.fingerprint = Fingerprint(!entry.fingerprint.0);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Default for VerdictCache {
+    fn default() -> Self {
+        VerdictCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::verified_passes;
+
+    fn sample_report(name: &str) -> PassReport {
+        PassReport {
+            name: name.to_string(),
+            pass_loc: 24,
+            subgoals: 4,
+            time_seconds: 0.001,
+            verified: true,
+            failure: None,
+        }
+    }
+
+    #[test]
+    fn cache_json_round_trips() {
+        let mut cache = VerdictCache::new();
+        cache.record(Fingerprint(0xdead_beef), &sample_report("CXCancellation"));
+        let mut failing = sample_report("GateDirection");
+        failing.verified = false;
+        failing.failure = Some("branch \"x\": counterexample\nwire 0".to_string());
+        cache.record(Fingerprint(7), &failing);
+        let text = cache.to_json();
+        let back = VerdictCache::from_json(&text).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.entries, cache.entries);
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn lookup_hits_only_on_matching_fingerprints() {
+        let mut cache = VerdictCache::new();
+        cache.record(Fingerprint(1), &sample_report("CXCancellation"));
+        assert!(cache.lookup("CXCancellation", Fingerprint(1)).is_some());
+        assert!(cache.lookup("CXCancellation", Fingerprint(2)).is_none());
+        assert!(cache.lookup("Unknown", Fingerprint(1)).is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+        cache.reset_stats();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn version_or_library_drift_discards_entries() {
+        let mut cache = VerdictCache::new();
+        cache.record(Fingerprint(1), &sample_report("CXCancellation"));
+        let stale_version = cache.to_json().replace("\"version\": 1", "\"version\": 99");
+        assert!(VerdictCache::from_json(&stale_version).unwrap().is_empty());
+        let fp = cache.rule_library_fingerprint().to_hex();
+        let stale_library = cache.to_json().replace(&fp, &Fingerprint(!0).to_hex());
+        assert!(VerdictCache::from_json(&stale_library).unwrap().is_empty());
+    }
+
+    #[test]
+    fn malformed_cache_files_are_rejected() {
+        assert!(VerdictCache::from_json("{}").is_err());
+        assert!(VerdictCache::from_json("not json").is_err());
+        let missing_entries = format!(
+            "{{\"version\": {CACHE_FORMAT_VERSION}, \"rule_library_fingerprint\": \"{}\"}}",
+            VerdictCache::new().rule_library_fingerprint().to_hex()
+        );
+        assert!(VerdictCache::from_json(&missing_entries).is_err());
+    }
+
+    #[test]
+    fn save_and_load_round_trip_on_disk() {
+        let dir = std::env::temp_dir().join("giallar-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("cache-{}.json", std::process::id()));
+        let mut cache = VerdictCache::new();
+        cache.record(Fingerprint(42), &sample_report("CXCancellation"));
+        cache.save(&path).unwrap();
+        let back = VerdictCache::load(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+        // Missing files load as an empty cache.
+        assert!(VerdictCache::load(&path).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pass_fingerprints_are_stable_and_distinct() {
+        let passes = verified_passes();
+        let library = qc_symbolic::rule_library_fingerprint();
+        let mut fingerprints = Vec::new();
+        for pass in &passes {
+            let obligations = (pass.obligations)();
+            let first = pass_fingerprint(pass, &obligations, library);
+            let second = pass_fingerprint(pass, &(pass.obligations)(), library);
+            assert_eq!(first, second, "{} fingerprint is unstable", pass.name);
+            // A different rule library must shift every fingerprint.
+            assert_ne!(first, pass_fingerprint(pass, &obligations, Fingerprint(!library.0)));
+            fingerprints.push(first);
+        }
+        // Passes sharing an obligation generator still get distinct
+        // fingerprints because the pass metadata is folded in.
+        let mut unique = fingerprints.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), fingerprints.len());
+    }
+}

@@ -30,6 +30,13 @@
 //! * [`case_studies`] — the three bugs of §7 (conditioned 1-qubit merges,
 //!   non-transitive commutation groups, non-terminating lookahead routing),
 //!   detected automatically by the verifier.
+//! * [`cache`] — the incremental verification cache: per-pass verdicts keyed
+//!   by a stable fingerprint of the serialized obligations plus the
+//!   rewrite-rule library, persisted as JSON, so re-verification discharges
+//!   only what changed ([`verifier::verify_all_passes_cached`]).
+//! * [`json`] / [`serialize`] — a dependency-free JSON document model and
+//!   the obligation/report encodings built on it (the vendored `serde` is a
+//!   no-op shim).
 //!
 //! # Example
 //!
@@ -46,15 +53,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod case_studies;
+pub mod json;
 pub mod library;
 pub mod obligation;
 pub mod registry;
+pub mod serialize;
 pub mod templates;
 pub mod verifier;
 pub mod wrapper;
 
+pub use cache::{pass_fingerprint, CacheEntry, VerdictCache, CACHE_FORMAT_VERSION};
 pub use obligation::{Goal, PassClass, ProofObligation};
 pub use registry::{verified_passes, VerifiedPass};
-pub use verifier::{verify_all_passes, verify_pass, PassReport};
+pub use verifier::{
+    verify_all_passes, verify_all_passes_cached, verify_pass, verify_pass_cached, PassReport,
+};
 pub use wrapper::{giallar_transpile, QiskitWrapper};

@@ -9,7 +9,9 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use smtlite::{Context, Formula};
 
-use crate::obligation::Goal;
+use crate::cache::{pass_fingerprint, VerdictCache};
+use crate::json::Value;
+use crate::obligation::{Goal, ProofObligation};
 use crate::registry::VerifiedPass;
 
 /// The verification report for one pass (one row of Table 2).
@@ -29,6 +31,62 @@ pub struct PassReport {
     /// Description of the first failing subgoal plus the solver
     /// counterexample, when verification fails.
     pub failure: Option<String>,
+}
+
+impl PassReport {
+    /// Encodes the report as a JSON value.  With `include_timing = false`
+    /// the machine-dependent `time_seconds` field is omitted, which makes
+    /// the encoding deterministic (used by `--deterministic` CLI output and
+    /// the committed benchmark artifacts).
+    pub fn to_json_value(&self, include_timing: bool) -> Value {
+        let mut members = vec![
+            ("name", Value::String(self.name.clone())),
+            ("pass_loc", Value::Int(self.pass_loc as i64)),
+            ("subgoals", Value::Int(self.subgoals as i64)),
+            ("verified", Value::Bool(self.verified)),
+            ("failure", self.failure.as_ref().map_or(Value::Null, |f| Value::String(f.clone()))),
+        ];
+        if include_timing {
+            members.push(("time_seconds", Value::Float(self.time_seconds)));
+        }
+        Value::object(members)
+    }
+
+    /// Decodes a report from the JSON produced by [`Self::to_json_value`].
+    /// A missing `time_seconds` (deterministic encodings) decodes as `0.0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json_value(value: &Value) -> Result<PassReport, String> {
+        let name = value.get("name").and_then(Value::as_str).ok_or("report: missing `name`")?;
+        let int_field = |key: &str| -> Result<usize, String> {
+            value
+                .get(key)
+                .and_then(Value::as_int)
+                .and_then(|v| usize::try_from(v).ok())
+                .ok_or_else(|| format!("report: missing `{key}`"))
+        };
+        let verified =
+            value.get("verified").and_then(Value::as_bool).ok_or("report: missing `verified`")?;
+        let failure = match value.get("failure") {
+            None | Some(Value::Null) => None,
+            Some(Value::String(s)) => Some(s.clone()),
+            Some(_) => return Err("report: bad `failure`".to_string()),
+        };
+        let time_seconds = match value.get("time_seconds") {
+            None => 0.0,
+            Some(v) => v.as_float().ok_or("report: bad `time_seconds`")?,
+        };
+        Ok(PassReport {
+            name: name.to_string(),
+            pass_loc: int_field("pass_loc")?,
+            subgoals: int_field("subgoals")?,
+            time_seconds,
+            verified,
+            failure,
+        })
+    }
 }
 
 /// Discharges a single goal.
@@ -53,13 +111,18 @@ pub fn discharge(goal: &Goal) -> Verdict {
     }
 }
 
-/// Verifies one pass: generates its proof obligations and discharges each.
-pub fn verify_pass(pass: &VerifiedPass) -> PassReport {
-    let start = Instant::now();
-    let obligations = (pass.obligations)();
+/// Discharges a prepared obligation list and assembles the report.  Shared
+/// by the uncached and cached verification paths so that both produce
+/// identical reports (modulo timing) for the same obligations.
+fn discharge_obligations(
+    name: &str,
+    pass_loc: usize,
+    obligations: &[ProofObligation],
+    start: Instant,
+) -> PassReport {
     let mut verified = true;
     let mut failure = None;
-    for obligation in &obligations {
+    for obligation in obligations {
         match discharge(&obligation.goal) {
             Verdict::Proved => {}
             Verdict::Refuted { explanation } => {
@@ -75,13 +138,35 @@ pub fn verify_pass(pass: &VerifiedPass) -> PassReport {
         }
     }
     PassReport {
-        name: pass.name.to_string(),
-        pass_loc: pass.pass_loc,
+        name: name.to_string(),
+        pass_loc,
         subgoals: obligations.len(),
         time_seconds: start.elapsed().as_secs_f64(),
         verified,
         failure,
     }
+}
+
+/// Verifies one pass: generates its proof obligations and discharges each.
+pub fn verify_pass(pass: &VerifiedPass) -> PassReport {
+    let start = Instant::now();
+    let obligations = (pass.obligations)();
+    discharge_obligations(pass.name, pass.pass_loc, &obligations, start)
+}
+
+/// Verifies one pass through the incremental cache: the obligations are
+/// generated and fingerprinted, and only discharged when the fingerprint
+/// misses (see [`crate::cache`]).
+pub fn verify_pass_cached(pass: &VerifiedPass, cache: &mut VerdictCache) -> PassReport {
+    let start = Instant::now();
+    let obligations = (pass.obligations)();
+    let fingerprint = pass_fingerprint(pass, &obligations, cache.rule_library_fingerprint());
+    if let Some(report) = cache.lookup(pass.name, fingerprint) {
+        return report;
+    }
+    let report = discharge_obligations(pass.name, pass.pass_loc, &obligations, start);
+    cache.record(fingerprint, &report);
+    report
 }
 
 /// Verifies every pass in the registry (the full Table 2).
@@ -100,6 +185,53 @@ pub fn verify_all_passes() -> Vec<PassReport> {
 /// per-pass wall-clock times may differ between the two.
 pub fn verify_all_passes_parallel() -> Vec<PassReport> {
     crate::registry::verified_passes().par_iter().map(verify_pass).collect()
+}
+
+/// Verifies every pass in the registry through the incremental cache:
+/// obligations are generated and fingerprinted for all 44 passes, cache hits
+/// are answered from the stored verdicts, and only the fingerprint-changed
+/// passes are re-discharged (in parallel, like
+/// [`verify_all_passes_parallel`]).  Reports come back in registry order and
+/// are identical to [`verify_all_passes`] in everything but timing —
+/// cross-check with [`reports_agree`].
+pub fn verify_all_passes_cached(cache: &mut VerdictCache) -> Vec<PassReport> {
+    verify_passes_cached(&crate::registry::verified_passes(), cache)
+}
+
+/// The cached verification path over an explicit pass list (used by the CLI
+/// for `--pass` filtering).  See [`verify_all_passes_cached`].
+pub fn verify_passes_cached(passes: &[VerifiedPass], cache: &mut VerdictCache) -> Vec<PassReport> {
+    // Fingerprinting is cheap (obligation generation, no discharge), so it
+    // runs sequentially; the misses — the expensive part — discharge in
+    // parallel exactly like the uncached parallel path.
+    let library = cache.rule_library_fingerprint();
+    let mut reports: Vec<Option<PassReport>> = Vec::with_capacity(passes.len());
+    let mut misses: Vec<(usize, &VerifiedPass, Vec<ProofObligation>, smtlite::Fingerprint)> =
+        Vec::new();
+    for (index, pass) in passes.iter().enumerate() {
+        let obligations = (pass.obligations)();
+        let fingerprint = pass_fingerprint(pass, &obligations, library);
+        match cache.lookup(pass.name, fingerprint) {
+            Some(report) => reports.push(Some(report)),
+            None => {
+                reports.push(None);
+                misses.push((index, pass, obligations, fingerprint));
+            }
+        }
+    }
+    let discharged: Vec<(usize, smtlite::Fingerprint, PassReport)> = misses
+        .par_iter()
+        .map(|(index, pass, obligations, fingerprint)| {
+            let start = Instant::now();
+            let report = discharge_obligations(pass.name, pass.pass_loc, obligations, start);
+            (*index, *fingerprint, report)
+        })
+        .collect();
+    for (index, fingerprint, report) in discharged {
+        cache.record(fingerprint, &report);
+        reports[index] = Some(report);
+    }
+    reports.into_iter().map(|r| r.expect("every pass produced a report")).collect()
 }
 
 /// True when two report lists agree on everything except timing: same order,
@@ -187,6 +319,63 @@ mod tests {
         let parallel = verify_all_passes_parallel();
         assert_eq!(sequential.len(), 44);
         assert!(reports_agree(&sequential, &parallel));
+    }
+
+    #[test]
+    fn cached_verification_matches_uncached_and_hits_on_the_warm_run() {
+        let uncached = verify_all_passes();
+        let mut cache = VerdictCache::new();
+        let cold = verify_all_passes_cached(&mut cache);
+        assert!(reports_agree(&uncached, &cold));
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 44);
+        cache.reset_stats();
+        let warm = verify_all_passes_cached(&mut cache);
+        assert!(reports_agree(&uncached, &warm));
+        assert_eq!(cache.hits(), 44);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn fingerprint_drift_forces_redischarge_of_only_the_changed_pass() {
+        let mut cache = VerdictCache::new();
+        let cold = verify_all_passes_cached(&mut cache);
+        assert!(cache.corrupt_fingerprint_for_test("CXCancellation"));
+        cache.reset_stats();
+        let warm = verify_all_passes_cached(&mut cache);
+        assert!(reports_agree(&cold, &warm));
+        assert_eq!(cache.hits(), 43);
+        assert_eq!(cache.misses(), 1);
+        // The re-discharge refreshed the entry: everything hits again.
+        cache.reset_stats();
+        let _ = verify_all_passes_cached(&mut cache);
+        assert_eq!(cache.hits(), 44);
+    }
+
+    #[test]
+    fn pass_report_json_round_trips() {
+        let report = PassReport {
+            name: "GateDirection".to_string(),
+            pass_loc: 55,
+            subgoals: 5,
+            time_seconds: 0.125,
+            verified: false,
+            failure: Some("cx flipped: counterexample on wire 1".to_string()),
+        };
+        let timed = report.to_json_value(true).to_pretty();
+        let back = PassReport::from_json_value(&crate::json::parse(&timed).unwrap()).unwrap();
+        assert_eq!(back.name, report.name);
+        assert_eq!(back.pass_loc, report.pass_loc);
+        assert_eq!(back.subgoals, report.subgoals);
+        assert_eq!(back.verified, report.verified);
+        assert_eq!(back.failure, report.failure);
+        assert_eq!(back.time_seconds.to_bits(), report.time_seconds.to_bits());
+        // Deterministic form omits timing and decodes it as zero.
+        let bare = report.to_json_value(false).to_pretty();
+        assert!(!bare.contains("time_seconds"));
+        let back = PassReport::from_json_value(&crate::json::parse(&bare).unwrap()).unwrap();
+        assert_eq!(back.time_seconds, 0.0);
+        assert!(reports_agree(std::slice::from_ref(&report), &[back]));
     }
 
     #[test]

@@ -289,6 +289,22 @@ impl GateKind {
         }
     }
 
+    /// A canonical textual form of the gate kind, stable across releases
+    /// and exact on parameters (angles are rendered as IEEE-754 bit
+    /// patterns, so two kinds render identically iff they are bit-identical).
+    /// Used by the incremental verification cache to fingerprint proof
+    /// obligations.
+    pub fn canonical_form(&self) -> String {
+        let params = self.params();
+        if params.is_empty() {
+            self.name().to_string()
+        } else {
+            let bits: Vec<String> =
+                params.iter().map(|p| format!("{:016x}", p.to_bits())).collect();
+            format!("{}[{}]", self.name(), bits.join(","))
+        }
+    }
+
     /// Returns `true` for non-unitary or purely structural operations
     /// (barrier, measure, reset).
     pub fn is_directive(&self) -> bool {
@@ -621,6 +637,20 @@ impl Gate {
     /// in the same order.
     pub fn same_qubits(&self, other: &Gate) -> bool {
         self.qubits == other.qubits
+    }
+
+    /// A canonical textual form of the whole instruction (kind, operands,
+    /// classical bits, condition), stable across releases.  Used by the
+    /// incremental verification cache to fingerprint proof obligations.
+    pub fn canonical_form(&self) -> String {
+        let qs: Vec<String> = self.qubits.iter().map(usize::to_string).collect();
+        let cs: Vec<String> = self.clbits.iter().map(usize::to_string).collect();
+        let cond = match self.condition.map(|c| c.kind) {
+            None => "-".to_string(),
+            Some(ConditionKind::Classical { bit, value }) => format!("c{bit}={}", value as u8),
+            Some(ConditionKind::Quantum { qubit }) => format!("q{qubit}"),
+        };
+        format!("{} q:{} c:{} if:{}", self.kind.canonical_form(), qs.join(","), cs.join(","), cond)
     }
 
     /// Validates operand arity and duplicate qubits.

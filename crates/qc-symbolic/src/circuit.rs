@@ -30,6 +30,19 @@ impl SymElement {
     pub fn segment(name: &str, excluded_qubits: Vec<usize>) -> Self {
         SymElement::Segment { name: name.to_string(), excluded_qubits }
     }
+
+    /// A canonical textual form of the element, stable across releases.
+    /// Used by the incremental verification cache to fingerprint proof
+    /// obligations.
+    pub fn canonical_form(&self) -> String {
+        match self {
+            SymElement::Gate(gate) => format!("g({})", gate.canonical_form()),
+            SymElement::Segment { name, excluded_qubits } => {
+                let excl: Vec<String> = excluded_qubits.iter().map(usize::to_string).collect();
+                format!("seg({name};excl:{})", excl.join(","))
+            }
+        }
+    }
 }
 
 /// A circuit whose gates may be interleaved with opaque segments.
@@ -99,6 +112,16 @@ impl SymCircuit {
         out.elements.extend(other.elements.iter().cloned());
         out.num_qubits = out.num_qubits.max(other.num_qubits);
         out
+    }
+
+    /// A canonical textual form of the circuit (register width plus every
+    /// element in program order), stable across releases.  Two symbolic
+    /// circuits render identically if and only if they are structurally
+    /// equal, so the incremental verification cache can fingerprint proof
+    /// goals by this serialization.
+    pub fn canonical_form(&self) -> String {
+        let elements: Vec<String> = self.elements.iter().map(SymElement::canonical_form).collect();
+        format!("circ(n={};[{}])", self.num_qubits, elements.join(";"))
     }
 
     /// Drops trailing measurement gates (used by the

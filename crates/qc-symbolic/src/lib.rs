@@ -45,6 +45,9 @@ pub use equiv::{
     check_equivalence_with_permutation, EquivalenceChecker,
 };
 pub use exec::SymbolicExecutor;
-pub use rules::{circuit_rewrite_rules, rule_identities, ClassifiedRule, RuleClass, RuleIdentity};
+pub use rules::{
+    circuit_rewrite_rules, rule_identities, rule_library_fingerprint, ClassifiedRule, RuleClass,
+    RuleIdentity, RULE_LIBRARY_VERSION,
+};
 pub use smtlite::Verdict;
 pub use soundness::{all_rules_sound, check_all_identities, IdentityCheck};

@@ -13,7 +13,33 @@
 
 use qc_ir::{Circuit, GateKind};
 use serde::{Deserialize, Serialize};
-use smtlite::{Pattern, RewriteRule};
+use smtlite::{Fingerprint, FingerprintBuilder, Pattern, RewriteRule};
+
+/// Version of the rewrite-rule library format.  Bump on any semantic change
+/// that the structural fingerprint of [`rule_library_fingerprint`] cannot
+/// see (e.g. a change to how rules are *applied* rather than which rules
+/// exist); the incremental verification cache stores the combined
+/// fingerprint and re-discharges every pass when it moves.
+pub const RULE_LIBRARY_VERSION: u32 = 1;
+
+/// A stable content fingerprint of the full rewrite-rule library: the
+/// version constant above plus the class, backing identity, and canonical
+/// `lhs -> rhs` form of every rule, in library order.
+///
+/// Cached pass verdicts are only valid for the rule library they were
+/// discharged under, so this fingerprint is folded into every pass
+/// fingerprint by the incremental verification cache in `giallar-core`.
+pub fn rule_library_fingerprint() -> Fingerprint {
+    let mut builder = FingerprintBuilder::new();
+    builder.write_str("giallar-rule-library");
+    builder.write_u64(u64::from(RULE_LIBRARY_VERSION));
+    for rule in circuit_rewrite_rules() {
+        builder.write_str(&format!("{:?}", rule.class));
+        builder.write_str(&rule.identity);
+        builder.write_str(&rule.rule.canonical_form());
+    }
+    builder.finish()
+}
 
 /// The paper's classification of rewrite rules (§8, "Reusability").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
@@ -492,6 +518,22 @@ mod tests {
         let rules = circuit_rewrite_rules();
         let names: BTreeSet<&str> = rules.iter().map(|r| r.rule.name.as_str()).collect();
         assert_eq!(names.len(), rules.len());
+    }
+
+    #[test]
+    fn rule_library_fingerprint_is_deterministic_and_rule_sensitive() {
+        assert_eq!(rule_library_fingerprint(), rule_library_fingerprint());
+        // Recomputing the same fold with one rule dropped must change the
+        // digest: the cache relies on library edits being visible.
+        let mut truncated = FingerprintBuilder::new();
+        truncated.write_str("giallar-rule-library");
+        truncated.write_u64(u64::from(RULE_LIBRARY_VERSION));
+        for rule in circuit_rewrite_rules().iter().skip(1) {
+            truncated.write_str(&format!("{:?}", rule.class));
+            truncated.write_str(&rule.identity);
+            truncated.write_str(&rule.rule.canonical_form());
+        }
+        assert_ne!(truncated.finish(), rule_library_fingerprint());
     }
 
     #[test]

@@ -37,11 +37,13 @@
 #![warn(missing_docs)]
 
 pub mod congruence;
+pub mod fingerprint;
 pub mod rewrite;
 pub mod solver;
 pub mod term;
 
 pub use congruence::CongruenceClosure;
+pub use fingerprint::{fingerprint_str, Fingerprint, FingerprintBuilder};
 pub use rewrite::{Pattern, RewriteRule, Rewriter};
 pub use solver::{Context, Formula, Verdict};
 pub use term::{TermArena, TermData, TermId};

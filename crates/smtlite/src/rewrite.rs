@@ -91,6 +91,23 @@ impl Pattern {
         }
     }
 
+    /// A canonical textual form of the pattern, stable across releases.
+    ///
+    /// This is the serialization the incremental verification cache
+    /// fingerprints: two patterns render identically if and only if they
+    /// match and instantiate identically, so any change to the rule library
+    /// changes the fingerprint and invalidates cached verdicts.
+    pub fn canonical_form(&self) -> String {
+        match self {
+            Pattern::Var(name) => format!("?{name}"),
+            Pattern::Int(v) => format!("#{v}"),
+            Pattern::App(func, args) => {
+                let rendered: Vec<String> = args.iter().map(Pattern::canonical_form).collect();
+                format!("{func}({})", rendered.join(","))
+            }
+        }
+    }
+
     /// The variables appearing in the pattern.
     pub fn variables(&self) -> Vec<String> {
         match self {
@@ -136,6 +153,12 @@ impl RewriteRule {
             );
         }
         RewriteRule { name: name.to_string(), lhs, rhs }
+    }
+
+    /// A canonical textual form of the rule (`name: lhs -> rhs`), used by
+    /// the rule-library fingerprint of the incremental verification cache.
+    pub fn canonical_form(&self) -> String {
+        format!("{}: {} -> {}", self.name, self.lhs.canonical_form(), self.rhs.canonical_form())
     }
 }
 

@@ -8,9 +8,11 @@ use std::collections::BTreeMap;
 
 use std::time::Instant;
 
+use giallar::core::cache::VerdictCache;
 use giallar::core::registry::verified_passes;
 use giallar::core::verifier::{
-    render_table2, reports_agree, verify_all_passes, verify_all_passes_parallel,
+    render_table2, reports_agree, verify_all_passes, verify_all_passes_cached,
+    verify_all_passes_parallel,
 };
 use giallar::symbolic::{circuit_rewrite_rules, RuleClass};
 
@@ -39,6 +41,27 @@ fn main() {
         "parallel re-verification: {parallel_seconds:.4}s vs {sequential_seconds:.4}s \
          sequential ({:.2}x speedup), identical verdicts",
         if parallel_seconds > 0.0 { sequential_seconds / parallel_seconds } else { 1.0 }
+    );
+
+    // The incremental path (what `giallar verify --cache` drives): a cold
+    // run discharges and fills the cache, a warm run answers every pass
+    // from its obligation fingerprint without re-discharging anything.
+    let mut cache = VerdictCache::new();
+    let start = Instant::now();
+    let cold = verify_all_passes_cached(&mut cache);
+    let cold_seconds = start.elapsed().as_secs_f64();
+    assert!(reports_agree(&reports, &cold), "cached verdicts must match uncached");
+    let cold_misses = cache.misses();
+    cache.reset_stats();
+    let start = Instant::now();
+    let warm = verify_all_passes_cached(&mut cache);
+    let warm_seconds = start.elapsed().as_secs_f64();
+    assert!(reports_agree(&reports, &warm), "warm verdicts must match uncached");
+    println!(
+        "incremental re-verification: cold {cold_seconds:.4}s ({cold_misses} misses), warm \
+         {warm_seconds:.4}s ({} hits, {} misses), identical verdicts",
+        cache.hits(),
+        cache.misses()
     );
 
     // §8 "Reusability": rewrite-rule classes and loop templates shared across

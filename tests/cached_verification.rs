@@ -1,0 +1,96 @@
+//! The incremental verification cache must be a drop-in replacement for the
+//! uncached verifier: a cold run discharges everything and matches
+//! `verify_all_passes` exactly; a warm run answers every pass from the cache
+//! with identical verdicts; and any fingerprint drift — a changed obligation
+//! set or a changed rewrite-rule library — forces re-discharge instead of
+//! serving a stale verdict.
+
+use giallar::core::cache::{VerdictCache, CACHE_FORMAT_VERSION};
+use giallar::core::verifier::{reports_agree, verify_all_passes, verify_all_passes_cached};
+use giallar::smt::Fingerprint;
+
+#[test]
+fn cold_and_warm_cached_runs_match_the_uncached_verifier() {
+    let uncached = verify_all_passes();
+
+    let mut cache = VerdictCache::new();
+    let cold = verify_all_passes_cached(&mut cache);
+    assert_eq!(cold.len(), 44);
+    assert!(reports_agree(&uncached, &cold), "cold cached run must match the uncached verifier");
+    assert_eq!(cache.misses(), 44, "a fresh cache answers nothing");
+    assert_eq!(cache.hits(), 0);
+
+    cache.reset_stats();
+    let warm = verify_all_passes_cached(&mut cache);
+    assert!(reports_agree(&uncached, &warm), "warm cached run must match the uncached verifier");
+    assert_eq!(cache.hits(), 44, "a warm cache answers every pass");
+    assert_eq!(cache.misses(), 0, "no pass may be re-discharged on an unchanged registry");
+}
+
+#[test]
+fn cache_survives_a_disk_round_trip_and_stays_warm() {
+    let dir = std::env::temp_dir().join("giallar-cached-verification-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("cache-{}.json", std::process::id()));
+
+    let mut cache = VerdictCache::new();
+    let cold = verify_all_passes_cached(&mut cache);
+    cache.save(&path).unwrap();
+
+    let mut reloaded = VerdictCache::load(&path).unwrap();
+    assert_eq!(reloaded.len(), 44);
+    let warm = verify_all_passes_cached(&mut reloaded);
+    assert!(reports_agree(&cold, &warm));
+    assert_eq!(reloaded.hits(), 44, "a reloaded cache must stay warm across processes");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn changed_obligation_fingerprint_invalidates_only_that_pass() {
+    let mut cache = VerdictCache::new();
+    let cold = verify_all_passes_cached(&mut cache);
+
+    // Simulate an edited obligation generator: the stored fingerprint for
+    // one pass no longer matches what the registry produces.
+    assert!(cache.corrupt_fingerprint_for_test("LookaheadSwap"));
+    cache.reset_stats();
+    let warm = verify_all_passes_cached(&mut cache);
+    assert!(reports_agree(&cold, &warm), "re-discharge must reproduce the same verdict");
+    assert_eq!(cache.misses(), 1, "only the drifted pass re-discharges");
+    assert_eq!(cache.hits(), 43);
+
+    // The re-discharge wrote the fresh fingerprint back.
+    cache.reset_stats();
+    let _ = verify_all_passes_cached(&mut cache);
+    assert_eq!(cache.hits(), 44);
+}
+
+#[test]
+fn changed_rule_library_invalidates_the_whole_cache_file() {
+    let mut cache = VerdictCache::new();
+    let _ = verify_all_passes_cached(&mut cache);
+
+    // A cache recorded under a different rewrite-rule library must come back
+    // empty: every verdict in it was discharged against rules that no longer
+    // exist in that form.
+    let current = cache.rule_library_fingerprint().to_hex();
+    let foreign = Fingerprint(!cache.rule_library_fingerprint().0).to_hex();
+    let stale = cache.to_json().replace(&current, &foreign);
+    let mut reloaded = VerdictCache::from_json(&stale).unwrap();
+    assert!(reloaded.is_empty(), "foreign rule library must discard all entries");
+
+    let reports = verify_all_passes_cached(&mut reloaded);
+    assert_eq!(reloaded.misses(), 44, "everything re-discharges under the current library");
+    assert!(reports.iter().all(|r| r.verified));
+}
+
+#[test]
+fn format_version_drift_invalidates_the_whole_cache_file() {
+    let mut cache = VerdictCache::new();
+    let _ = verify_all_passes_cached(&mut cache);
+    let stale = cache.to_json().replace(
+        &format!("\"version\": {CACHE_FORMAT_VERSION}"),
+        &format!("\"version\": {}", CACHE_FORMAT_VERSION + 1),
+    );
+    assert!(VerdictCache::from_json(&stale).unwrap().is_empty());
+}
