@@ -1,0 +1,56 @@
+//! Solver microbenchmarks: the smtlite hot path on registry-shaped
+//! workloads.
+//!
+//! Prints the microbench table (compiled/indexed hot path versus the naive
+//! reference implementations kept as executable specifications), records the
+//! deterministic artifact to `BENCH_solver_microbench.json` at the workspace
+//! root, then drives the same workloads under the Criterion harness.
+//!
+//! Set `GIALLAR_MICROBENCH_SAMPLE=1` to run in sample mode (fewer
+//! iterations; used by the CI `bench-microbench` job).
+
+use std::path::Path;
+
+use bench::{solver_microbench_artifact_json, solver_microbench_rows, solver_microbench_text};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sample_mode() -> bool {
+    std::env::var("GIALLAR_MICROBENCH_SAMPLE").is_ok_and(|v| v != "0")
+}
+
+fn bench_solver_microbench(c: &mut Criterion) {
+    let iters = if sample_mode() { 2 } else { 7 };
+    let rows = solver_microbench_rows(iters);
+    println!("\n=== Solver microbenchmarks (hot path vs naive reference) ===");
+    print!("{}", solver_microbench_text(&rows));
+    // The committed artifact carries the deterministic core plus this
+    // machine's timing columns; the CI drift gate compares only the
+    // deterministic core (see `bench::strip_timing`).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_solver_microbench.json");
+    match std::fs::write(&path, solver_microbench_artifact_json(&rows, true)) {
+        Ok(()) => println!("recorded solver microbench artifact to {}", path.display()),
+        Err(error) => println!("could not record {}: {error}", path.display()),
+    }
+
+    let mut group = c.benchmark_group("solver_microbench");
+    if sample_mode() {
+        group.sample_size(2);
+        group.measurement_time(std::time::Duration::from_millis(200));
+        group.warm_up_time(std::time::Duration::from_millis(50));
+    } else {
+        group.sample_size(20);
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+    }
+    group.bench_function("all_workloads", |b| {
+        b.iter(|| {
+            let rows = solver_microbench_rows(1);
+            assert_eq!(rows.len(), 4);
+            rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver_microbench);
+criterion_main!(benches);

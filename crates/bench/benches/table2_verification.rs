@@ -23,11 +23,13 @@ fn record_speedup() {
         speedup.sequential_seconds, speedup.parallel_seconds, speedup.threads, speedup.speedup
     );
     println!("{}", speedup.to_json());
-    // The committed artifact is the *deterministic* form (no timing section)
-    // produced by `bench::table2_artifact_json` — the same writer the
-    // `giallar bench` subcommand uses, so harness and artifact cannot drift.
+    // The committed artifact is produced by `bench::table2_artifact_json` —
+    // the same writer the `giallar bench` subcommand uses, so harness and
+    // artifact cannot drift.  It carries this machine's timing section as
+    // recorded evidence; the CI drift gate (`giallar bench --check`)
+    // compares only the deterministic structure.
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_table2_verification.json");
-    match std::fs::write(&path, table2_artifact_json(&table2_reports(), None)) {
+    match std::fs::write(&path, table2_artifact_json(&table2_reports(), Some(&speedup))) {
         Ok(()) => println!("recorded Table 2 artifact to {}", path.display()),
         Err(error) => println!("could not record {}: {error}", path.display()),
     }

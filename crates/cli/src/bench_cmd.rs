@@ -1,24 +1,48 @@
-//! `giallar bench` — regenerate the committed benchmark artifacts.
+//! `giallar bench` — regenerate or drift-check the committed benchmark
+//! artifacts.
 //!
-//! Emits `BENCH_table2_verification.json` and
-//! `BENCH_figure11_compilation.json` through the same writers the Criterion
-//! harness uses (`bench::table2_artifact_json` /
-//! `bench::figure11_artifact_json`), so the committed artifacts and the
-//! bench harness cannot drift.  Output is deterministic by default —
+//! Emits `BENCH_table2_verification.json`,
+//! `BENCH_figure11_compilation.json`, and `BENCH_solver_microbench.json`
+//! through the same writers the Criterion harness uses
+//! (`bench::table2_artifact_json` / `bench::figure11_artifact_json` /
+//! `bench::solver_microbench_artifact_json`), so the committed artifacts and
+//! the bench harness cannot drift.  Output is deterministic by default —
 //! machine-dependent timing sections are added only with `--timings`.
+//!
+//! With `--check <dir>` nothing is written: the artifacts are regenerated in
+//! memory and compared structurally against the committed files in `<dir>`,
+//! ignoring timing fields (`bench::strip_timing`), so committed artifacts
+//! may carry timing evidence while any change to verdicts, subgoal counts,
+//! fingerprints, or workload checksums fails the check.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use bench::{figure11_artifact_json, figure11_rows, measure_verification_speedup, table2_reports};
+use bench::{
+    figure11_artifact_json, figure11_rows, measure_verification_speedup,
+    solver_microbench_artifact_json, solver_microbench_rows, strip_timing, table2_reports,
+};
+use giallar_core::json;
 use qc_ir::CouplingMap;
 
 use crate::{value_of, CmdError, CmdResult};
+
+/// Iterations for the solver microbenchmarks: enough for a stable best-of
+/// when recording timings, minimal when only the deterministic structure is
+/// needed.
+fn microbench_iters(timings: bool) -> usize {
+    if timings {
+        7
+    } else {
+        1
+    }
+}
 
 /// Runs `giallar bench`.
 pub fn run(args: &[String]) -> CmdResult {
     let mut out_dir = PathBuf::from(".");
     let mut seed = 7u64;
     let mut timings = false;
+    let mut check_dir: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -29,34 +53,50 @@ pub fn run(args: &[String]) -> CmdResult {
                     .map_err(|_| CmdError::Usage("--seed: invalid seed".to_string()))?
             }
             "--timings" => timings = true,
+            "--check" => check_dir = Some(PathBuf::from(value_of(args, &mut i, "--check")?)),
             other => return Err(CmdError::Usage(format!("bench: unknown option `{other}`"))),
         }
         i += 1;
     }
 
-    std::fs::create_dir_all(&out_dir).map_err(|error| {
-        CmdError::Failed(format!("creating output dir {}: {error}", out_dir.display()))
-    })?;
-
-    // Table 2: verify the full registry, then render the artifact.
+    // Regenerate every artifact (deterministic unless --timings).
     let reports = table2_reports();
     let verified = reports.iter().filter(|r| r.verified).count();
     let speedup = if timings { Some(measure_verification_speedup(3)) } else { None };
     let table2 = bench::table2_artifact_json(&reports, speedup.as_ref());
-    let table2_path = out_dir.join("BENCH_table2_verification.json");
-    std::fs::write(&table2_path, &table2)
-        .map_err(|error| CmdError::Failed(format!("writing {}: {error}", table2_path.display())))?;
-    println!("wrote {} ({} passes, {verified} verified)", table2_path.display(), reports.len());
 
-    // Figure 11: compile the QASMBench suite on the paper's 27-qubit device.
     let device = CouplingMap::falcon27();
     let rows = figure11_rows(&device, seed);
     let figure11 = figure11_artifact_json("falcon27", seed, &rows, timings);
-    let figure11_path = out_dir.join("BENCH_figure11_compilation.json");
-    std::fs::write(&figure11_path, &figure11).map_err(|error| {
-        CmdError::Failed(format!("writing {}: {error}", figure11_path.display()))
+
+    let micro_rows = solver_microbench_rows(microbench_iters(timings));
+    let microbench = solver_microbench_artifact_json(&micro_rows, timings);
+
+    let artifacts: [(&str, &str); 3] = [
+        ("BENCH_table2_verification.json", table2.as_str()),
+        ("BENCH_figure11_compilation.json", figure11.as_str()),
+        ("BENCH_solver_microbench.json", microbench.as_str()),
+    ];
+
+    if let Some(dir) = check_dir {
+        return check_artifacts(&dir, &artifacts);
+    }
+
+    std::fs::create_dir_all(&out_dir).map_err(|error| {
+        CmdError::Failed(format!("creating output dir {}: {error}", out_dir.display()))
     })?;
-    println!("wrote {} ({} circuits compiled)", figure11_path.display(), rows.len());
+    for (name, content) in &artifacts {
+        let path = out_dir.join(name);
+        std::fs::write(&path, content)
+            .map_err(|error| CmdError::Failed(format!("writing {}: {error}", path.display())))?;
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "table2: {} passes, {verified} verified; figure11: {} circuits; microbench: {} workloads",
+        reports.len(),
+        rows.len(),
+        micro_rows.len()
+    );
 
     if verified != reports.len() {
         return Err(CmdError::Failed(format!(
@@ -65,4 +105,34 @@ pub fn run(args: &[String]) -> CmdResult {
         )));
     }
     Ok(())
+}
+
+/// Compares regenerated artifacts against the committed files in `dir`,
+/// ignoring machine-dependent timing fields on both sides.
+fn check_artifacts(dir: &Path, artifacts: &[(&str, &str)]) -> CmdResult {
+    let mut drifted = Vec::new();
+    for (name, regenerated) in artifacts {
+        let path = dir.join(name);
+        let committed = std::fs::read_to_string(&path)
+            .map_err(|error| CmdError::Failed(format!("reading {}: {error}", path.display())))?;
+        let committed = json::parse(&committed)
+            .map_err(|error| CmdError::Failed(format!("parsing {}: {error}", path.display())))?;
+        let regenerated = json::parse(regenerated)
+            .map_err(|error| CmdError::Failed(format!("parsing regenerated {name}: {error}")))?;
+        if strip_timing(&committed) == strip_timing(&regenerated) {
+            println!("check {name}: ok");
+        } else {
+            println!("check {name}: STRUCTURAL DRIFT");
+            drifted.push(*name);
+        }
+    }
+    if drifted.is_empty() {
+        Ok(())
+    } else {
+        Err(CmdError::Failed(format!(
+            "benchmark artifacts drifted from the committed files: {} — \
+             regenerate with `giallar bench --timings --out .` and commit",
+            drifted.join(", ")
+        )))
+    }
 }

@@ -9,8 +9,9 @@
 //!   any unverified pass.
 //! * `giallar compile` — run the baseline transpiler on an OpenQASM file or
 //!   a named QASMBench circuit and print compilation stats.
-//! * `giallar bench` — emit the Table 2 / Figure 11 JSON artifacts
-//!   deterministically (the committed `BENCH_*.json` files).
+//! * `giallar bench` — emit the Table 2 / Figure 11 / solver-microbench
+//!   JSON artifacts (the committed `BENCH_*.json` files), or drift-check
+//!   them against a directory with `--check` (timing fields ignored).
 //!
 //! Exit codes: `0` success, `1` verification/compilation failure or a failed
 //! `--expect-passes` / `--min-cache-hits` assertion, `2` usage error.
@@ -68,10 +69,13 @@ SUBCOMMANDS:
         --seed <n>             routing seed (default 7)
         --format <fmt>         table (default) | json
         --list                 list the available named circuits
-    bench      regenerate the committed benchmark artifacts
+    bench      regenerate or drift-check the committed benchmark artifacts
         --out <dir>            output directory (default: .)
         --seed <n>             Figure 11 routing seed (default 7)
         --timings              include machine-dependent timing sections
+        --check <dir>          write nothing; compare regenerated artifacts
+                               against the committed files in <dir>, ignoring
+                               timing fields (nonzero exit on drift)
 
 Exit codes: 0 success, 1 failure, 2 usage error.
 ";

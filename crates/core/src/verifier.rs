@@ -4,7 +4,7 @@
 
 use std::time::Instant;
 
-use qc_symbolic::{check_equivalence, check_equivalence_with_permutation, Verdict};
+use qc_symbolic::{EquivalenceChecker, Verdict};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use smtlite::{Context, Formula};
@@ -89,25 +89,78 @@ impl PassReport {
     }
 }
 
-/// Discharges a single goal.
+/// Discharges a single goal with a fresh solver context (the one-shot API;
+/// the verifier batches a pass's goals through a [`Discharger`]).
 pub fn discharge(goal: &Goal) -> Verdict {
-    match goal {
-        Goal::Equivalence { lhs, rhs } => check_equivalence(lhs, rhs),
-        Goal::EquivalenceUpToPermutation { lhs, rhs, perm } => {
-            check_equivalence_with_permutation(lhs, rhs, perm)
+    Discharger::new().discharge(goal)
+}
+
+/// A reusable goal discharger: one solver context per pass instead of one
+/// per goal.
+///
+/// Building a solver context is dominated by installing (compiling and
+/// head-indexing) the full rewrite-rule library; a pass generates many
+/// obligations that all need the same library, so the verifier creates one
+/// `Discharger` per pass and feeds every goal through it.  The shared
+/// equivalence checker grows lazily to the widest register seen, narrower
+/// circuits are checked over the full register (extra wires are trivially
+/// equal), and the arithmetic context for termination goals is likewise
+/// shared.  Passes verify in parallel with no state shared *across* passes —
+/// the per-pass modularity of §4 is untouched.
+pub struct Discharger {
+    checker: Option<EquivalenceChecker>,
+    arith: Option<Context>,
+}
+
+impl Discharger {
+    /// Creates a discharger with no solver state; contexts are built on
+    /// first use.
+    pub fn new() -> Self {
+        Discharger { checker: None, arith: None }
+    }
+
+    /// The shared equivalence checker, grown to cover `num_qubits`.
+    fn checker(&mut self, num_qubits: usize) -> &mut EquivalenceChecker {
+        let rebuild = match &self.checker {
+            Some(checker) => checker.num_qubits() < num_qubits,
+            None => true,
+        };
+        if rebuild {
+            self.checker = Some(EquivalenceChecker::new(num_qubits));
         }
-        Goal::TerminationDecrease { consumed, kept } => {
-            // |remain_new| = |rest| + kept  <  |remain_old| = |rest| + consumed
-            let mut ctx = Context::new();
-            let rest = ctx.arena_mut().app("len_rest", vec![]);
-            let kept_term = ctx.arena_mut().int(*kept as i64);
-            let consumed_term = ctx.arena_mut().int(*consumed as i64);
-            let new_len = ctx.arena_mut().app("+", vec![rest, kept_term]);
-            let old_len = ctx.arena_mut().app("+", vec![rest, consumed_term]);
-            ctx.check(&Formula::Lt(new_len, old_len))
+        self.checker.as_mut().expect("checker just ensured")
+    }
+
+    /// Discharges one goal against the shared solver state.
+    pub fn discharge(&mut self, goal: &Goal) -> Verdict {
+        match goal {
+            Goal::Equivalence { lhs, rhs } => {
+                let n = lhs.num_qubits().max(rhs.num_qubits());
+                self.checker(n).check(lhs, rhs)
+            }
+            Goal::EquivalenceUpToPermutation { lhs, rhs, perm } => {
+                let n = lhs.num_qubits().max(rhs.num_qubits());
+                self.checker(n).check_with_permutation(lhs, rhs, perm)
+            }
+            Goal::TerminationDecrease { consumed, kept } => {
+                // |remain_new| = |rest| + kept  <  |remain_old| = |rest| + consumed
+                let ctx = self.arith.get_or_insert_with(Context::new);
+                let rest = ctx.arena_mut().app("len_rest", vec![]);
+                let kept_term = ctx.arena_mut().int(*kept as i64);
+                let consumed_term = ctx.arena_mut().int(*consumed as i64);
+                let new_len = ctx.arena_mut().app("+", vec![rest, kept_term]);
+                let old_len = ctx.arena_mut().app("+", vec![rest, consumed_term]);
+                ctx.check(&Formula::Lt(new_len, old_len))
+            }
+            Goal::AlwaysTerminates => Verdict::Proved,
+            Goal::CircuitUnchanged => Verdict::Proved,
         }
-        Goal::AlwaysTerminates => Verdict::Proved,
-        Goal::CircuitUnchanged => Verdict::Proved,
+    }
+}
+
+impl Default for Discharger {
+    fn default() -> Self {
+        Discharger::new()
     }
 }
 
@@ -122,8 +175,24 @@ fn discharge_obligations(
 ) -> PassReport {
     let mut verified = true;
     let mut failure = None;
+    // Size the shared checker to the widest equivalence goal up front so the
+    // rule library is installed exactly once per pass.
+    let max_qubits = obligations
+        .iter()
+        .map(|o| match &o.goal {
+            Goal::Equivalence { lhs, rhs } | Goal::EquivalenceUpToPermutation { lhs, rhs, .. } => {
+                lhs.num_qubits().max(rhs.num_qubits())
+            }
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+    let mut discharger = Discharger::new();
+    if max_qubits > 0 {
+        discharger.checker(max_qubits);
+    }
     for obligation in obligations {
-        match discharge(&obligation.goal) {
+        match discharger.discharge(&obligation.goal) {
             Verdict::Proved => {}
             Verdict::Refuted { explanation } => {
                 verified = false;
@@ -201,16 +270,23 @@ pub fn verify_all_passes_cached(cache: &mut VerdictCache) -> Vec<PassReport> {
 /// The cached verification path over an explicit pass list (used by the CLI
 /// for `--pass` filtering).  See [`verify_all_passes_cached`].
 pub fn verify_passes_cached(passes: &[VerifiedPass], cache: &mut VerdictCache) -> Vec<PassReport> {
-    // Fingerprinting is cheap (obligation generation, no discharge), so it
-    // runs sequentially; the misses — the expensive part — discharge in
-    // parallel exactly like the uncached parallel path.
+    // A warm run discharges nothing, so its wall clock is dominated by
+    // obligation generation + fingerprinting — run that phase in parallel
+    // (it is pure per pass).  Cache lookups mutate the hit/miss counters and
+    // stay sequential, in registry order, so the stats are deterministic.
     let library = cache.rule_library_fingerprint();
+    let prepared: Vec<(Vec<ProofObligation>, smtlite::Fingerprint)> = passes
+        .par_iter()
+        .map(|pass| {
+            let obligations = (pass.obligations)();
+            let fingerprint = pass_fingerprint(pass, &obligations, library);
+            (obligations, fingerprint)
+        })
+        .collect();
     let mut reports: Vec<Option<PassReport>> = Vec::with_capacity(passes.len());
     let mut misses: Vec<(usize, &VerifiedPass, Vec<ProofObligation>, smtlite::Fingerprint)> =
         Vec::new();
-    for (index, pass) in passes.iter().enumerate() {
-        let obligations = (pass.obligations)();
-        let fingerprint = pass_fingerprint(pass, &obligations, library);
+    for (index, (pass, (obligations, fingerprint))) in passes.iter().zip(prepared).enumerate() {
         match cache.lookup(pass.name, fingerprint) {
             Some(report) => reports.push(Some(report)),
             None => {

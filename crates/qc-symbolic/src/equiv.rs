@@ -13,6 +13,14 @@ use crate::circuit::SymCircuit;
 use crate::exec::SymbolicExecutor;
 
 /// A reusable equivalence checker over a fixed register size.
+///
+/// Construction is the expensive part — it builds a solver context and
+/// installs (compiles and head-indexes) the full rewrite-rule library — so
+/// the verifier creates **one** checker per pass and reuses it across all
+/// wires and obligations: circuits narrower than the register are checked
+/// over the full register (the untouched wires are trivially equal), wire
+/// maps shorter than the register are padded with the identity, and the
+/// solver's normal-form memo keeps re-normalising shared sub-terms free.
 #[derive(Debug)]
 pub struct EquivalenceChecker {
     executor: SymbolicExecutor,
@@ -20,7 +28,7 @@ pub struct EquivalenceChecker {
 }
 
 impl EquivalenceChecker {
-    /// Creates a checker for circuits over `num_qubits` qubits.
+    /// Creates a checker for circuits over at most `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
         EquivalenceChecker { executor: SymbolicExecutor::new(num_qubits), num_qubits }
     }
@@ -44,7 +52,9 @@ impl EquivalenceChecker {
 
     /// Checks equivalence of a routed circuit against the original, up to the
     /// final qubit permutation tracked by the routing pass: output wire
-    /// `perm[l]` of `rhs` must match output wire `l` of `lhs`.
+    /// `perm[l]` of `rhs` must match output wire `l` of `lhs`.  A permutation
+    /// shorter than the register is padded with the identity (the remaining
+    /// wires are untouched by a narrower circuit).
     pub fn check_with_permutation(
         &mut self,
         lhs: &SymCircuit,
@@ -60,11 +70,25 @@ impl EquivalenceChecker {
         rhs: &SymCircuit,
         wire_map: &[usize],
     ) -> Verdict {
-        if wire_map.len() != self.num_qubits {
+        // A wire map must cover every qubit the circuits touch (a malformed
+        // permutation from a buggy routing pass is an error, not an identity)
+        // and fit the register; only the untouched register wires beyond the
+        // circuits are identity-padded.
+        let circuit_width = lhs.num_qubits().max(rhs.num_qubits());
+        if wire_map.len() > self.num_qubits || wire_map.len() < circuit_width {
             return Verdict::Refuted {
                 explanation: format!(
-                    "wire map covers {} qubits but the register has {}",
+                    "wire map covers {} qubits but the circuits span {circuit_width} \
+                     and the register has {}",
                     wire_map.len(),
+                    self.num_qubits
+                ),
+            };
+        }
+        if let Some(&bad) = wire_map.iter().find(|&&w| w >= self.num_qubits) {
+            return Verdict::Refuted {
+                explanation: format!(
+                    "wire map sends a qubit to wire {bad}, outside the {}-qubit register",
                     self.num_qubits
                 ),
             };
@@ -73,7 +97,7 @@ impl EquivalenceChecker {
         let out_rhs = self.executor.execute(rhs);
         for logical in 0..self.num_qubits {
             let a = out_lhs[logical];
-            let b = out_rhs[wire_map[logical]];
+            let b = out_rhs[wire_map.get(logical).copied().unwrap_or(logical)];
             match self.executor.context_mut().check_eq(a, b) {
                 Verdict::Proved => continue,
                 Verdict::Refuted { explanation } => {
@@ -221,6 +245,28 @@ mod tests {
             &SymCircuit::from_circuit(&routed)
         )
         .is_proved());
+    }
+
+    #[test]
+    fn malformed_wire_maps_are_rejected_and_short_registers_pad() {
+        // A permutation shorter than the circuits is a malformed routing
+        // artifact and must be refuted, not identity-padded.
+        let mut routed = Circuit::new(3);
+        routed.swap(1, 2).cx(0, 1);
+        let mut original = Circuit::new(3);
+        original.cx(0, 2);
+        let lhs = SymCircuit::from_circuit(&original);
+        let rhs = SymCircuit::from_circuit(&routed);
+        let mut checker = EquivalenceChecker::new(3);
+        assert!(checker.check_with_permutation(&lhs, &rhs, &[0, 2]).is_refuted());
+        assert!(checker.check_with_permutation(&lhs, &rhs, &[0, 2, 1, 3]).is_refuted());
+        // Out-of-range targets are refuted with an explanation, not a panic.
+        assert!(checker.check_with_permutation(&lhs, &rhs, &[0, 2, 3]).is_refuted());
+        assert!(checker.check_with_permutation(&lhs, &rhs, &[0, 2, 1]).is_proved());
+        // A checker over a wider register pads only the untouched wires.
+        let mut wide = EquivalenceChecker::new(5);
+        assert!(wide.check_with_permutation(&lhs, &rhs, &[0, 2, 1]).is_proved());
+        assert!(wide.check_with_permutation(&lhs, &rhs, &[0, 2]).is_refuted());
     }
 
     #[test]

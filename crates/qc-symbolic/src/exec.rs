@@ -5,11 +5,13 @@
 //! wires with new applications, and opaque segments become uninterpreted
 //! functions of the wires they may touch.
 
+use std::sync::OnceLock;
+
 use qc_ir::{ConditionKind, Gate, GateKind};
 use smtlite::{Context, TermId};
 
 use crate::circuit::{SymCircuit, SymElement};
-use crate::rules::circuit_rewrite_rules;
+use crate::rules::circuit_rewrite_rules_static;
 
 /// Canonical encoding of a gate parameter as a term symbol.
 ///
@@ -46,11 +48,21 @@ pub struct SymbolicExecutor {
 impl SymbolicExecutor {
     /// Creates an executor over a register of `num_qubits` symbolic qubits,
     /// with the full Giallar rewrite-rule library installed.
+    ///
+    /// The library is installed — compiled and head-indexed — into a
+    /// template context **once per process**; each executor starts from a
+    /// clone of that template, so per-pass context construction pays for a
+    /// memcpy-ish clone instead of ~90 pattern compilations.
     pub fn new(num_qubits: usize) -> Self {
-        let mut ctx = Context::new();
-        for rule in circuit_rewrite_rules() {
-            ctx.add_rule(rule.rule);
-        }
+        static TEMPLATE: OnceLock<Context> = OnceLock::new();
+        let template = TEMPLATE.get_or_init(|| {
+            let mut ctx = Context::new();
+            for rule in circuit_rewrite_rules_static() {
+                ctx.add_rule(rule.rule.clone());
+            }
+            ctx
+        });
+        let mut ctx = template.clone();
         let initial = (0..num_qubits).map(|i| ctx.arena_mut().symbol(&format!("q{i}"))).collect();
         SymbolicExecutor { ctx, initial }
     }

@@ -46,8 +46,8 @@ pub use equiv::{
 };
 pub use exec::SymbolicExecutor;
 pub use rules::{
-    circuit_rewrite_rules, rule_identities, rule_library_fingerprint, ClassifiedRule, RuleClass,
-    RuleIdentity, RULE_LIBRARY_VERSION,
+    circuit_rewrite_rules, circuit_rewrite_rules_static, rule_identities, rule_library_fingerprint,
+    ClassifiedRule, RuleClass, RuleIdentity, RULE_LIBRARY_VERSION,
 };
 pub use smtlite::Verdict;
 pub use soundness::{all_rules_sound, check_all_identities, IdentityCheck};

@@ -11,6 +11,8 @@
 //! checked against the dense matrix semantics by [`crate::soundness`]; this
 //! replaces the paper's once-and-for-all Coq proofs.
 
+use std::sync::OnceLock;
+
 use qc_ir::{Circuit, GateKind};
 use serde::{Deserialize, Serialize};
 use smtlite::{Fingerprint, FingerprintBuilder, Pattern, RewriteRule};
@@ -30,15 +32,18 @@ pub const RULE_LIBRARY_VERSION: u32 = 1;
 /// discharged under, so this fingerprint is folded into every pass
 /// fingerprint by the incremental verification cache in `giallar-core`.
 pub fn rule_library_fingerprint() -> Fingerprint {
-    let mut builder = FingerprintBuilder::new();
-    builder.write_str("giallar-rule-library");
-    builder.write_u64(u64::from(RULE_LIBRARY_VERSION));
-    for rule in circuit_rewrite_rules() {
-        builder.write_str(&format!("{:?}", rule.class));
-        builder.write_str(&rule.identity);
-        builder.write_str(&rule.rule.canonical_form());
-    }
-    builder.finish()
+    static FINGERPRINT: OnceLock<Fingerprint> = OnceLock::new();
+    *FINGERPRINT.get_or_init(|| {
+        let mut builder = FingerprintBuilder::new();
+        builder.write_str("giallar-rule-library");
+        builder.write_u64(u64::from(RULE_LIBRARY_VERSION));
+        for rule in circuit_rewrite_rules_static() {
+            builder.write_str(&format!("{:?}", rule.class));
+            builder.write_str(&rule.identity);
+            builder.write_str(&rule.rule.canonical_form());
+        }
+        builder.finish()
+    })
 }
 
 /// The paper's classification of rewrite rules (§8, "Reusability").
@@ -116,8 +121,26 @@ const INV_PAIRS_1Q: &[(&str, &str)] = &[("s", "sdg"), ("t", "tdg"), ("sx", "sxdg
 /// Self-inverse 2-qubit gates (excluding SWAP, which has its own rules).
 const SELF_INV_2Q: &[&str] = &["cx", "cy", "cz", "ch"];
 
-/// Builds the full rewrite-rule library.
+/// The full rewrite-rule library, built once per process.
+///
+/// The library is immutable and every solver context needs it, so the hot
+/// verification path ([`crate::SymbolicExecutor::new`], one context per
+/// pass) reads this static slice and clones only the individual
+/// [`RewriteRule`]s it installs, instead of re-deriving ~90 patterns from
+/// the gate tables on every context construction.
+pub fn circuit_rewrite_rules_static() -> &'static [ClassifiedRule] {
+    static LIBRARY: OnceLock<Vec<ClassifiedRule>> = OnceLock::new();
+    LIBRARY.get_or_init(build_circuit_rewrite_rules)
+}
+
+/// Builds the full rewrite-rule library (an owned copy of
+/// [`circuit_rewrite_rules_static`]).
 pub fn circuit_rewrite_rules() -> Vec<ClassifiedRule> {
+    circuit_rewrite_rules_static().to_vec()
+}
+
+/// Derives the rule library from the gate tables.
+fn build_circuit_rewrite_rules() -> Vec<ClassifiedRule> {
     let mut rules = Vec::new();
     let push = |rules: &mut Vec<ClassifiedRule>, class, identity: &str, rule| {
         rules.push(ClassifiedRule { class, identity: identity.to_string(), rule });

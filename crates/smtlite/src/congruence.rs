@@ -3,10 +3,17 @@
 //! Given a set of asserted equalities between interned terms, the closure
 //! answers whether two terms are provably equal by reflexivity, symmetry,
 //! transitivity, and congruence (`a = b  ⟹  f(a) = f(b)`).
+//!
+//! The closure is designed for the solver's incremental use: it persists
+//! across queries inside a [`crate::Context`],
+//! [`CongruenceClosure::propagate`] is a no-op unless new equalities were
+//! asserted or new terms were interned since the last propagation, and
+//! congruence signatures hash interned [`SymbolId`]s instead of cloning
+//! function-name strings.
 
 use std::collections::HashMap;
 
-use crate::term::{TermArena, TermData, TermId};
+use crate::term::{SymbolId, TermArena, TermData, TermId};
 
 /// A union-find based congruence closure.
 #[derive(Debug, Clone, Default)]
@@ -15,6 +22,11 @@ pub struct CongruenceClosure {
     rank: Vec<u32>,
     /// Asserted (not derived) equalities, kept for re-propagation.
     asserted: Vec<(TermId, TermId)>,
+    /// Whether a merge happened since the last completed propagation.
+    dirty: bool,
+    /// Arena size at the last completed propagation; new terms can create
+    /// new congruences, so growth forces a re-propagation.
+    propagated_terms: usize,
 }
 
 impl CongruenceClosure {
@@ -59,25 +71,35 @@ impl CongruenceClosure {
         self.ensure(a);
         self.ensure(b);
         self.asserted.push((a, b));
-        self.union(a.0, b.0);
+        if self.union(a.0, b.0) {
+            self.dirty = true;
+        }
     }
 
     /// Propagates congruence over every term in the arena until a fixpoint:
     /// whenever two applications have the same function symbol and pairwise
     /// congruent arguments, their classes are merged.
+    ///
+    /// Incremental: when nothing changed since the last propagation — no
+    /// merging assertion and no new interned term — this returns without
+    /// scanning the arena, so back-to-back queries over a stable context pay
+    /// for propagation once.
     pub fn propagate(&mut self, arena: &TermArena) {
+        if !self.dirty && self.propagated_terms == arena.len() {
+            return;
+        }
         for id in arena.ids() {
             self.ensure(id);
         }
         loop {
             let mut changed = false;
             // Signature map: (func, class(args)) -> representative term.
-            let mut signatures: HashMap<(String, Vec<usize>), usize> = HashMap::new();
+            let mut signatures: HashMap<(SymbolId, Vec<usize>), usize> = HashMap::new();
             for id in arena.ids() {
                 if let TermData::App(func, args) = arena.data(id) {
+                    let func = *func;
                     let sig: Vec<usize> = args.iter().map(|&a| self.find(a.0)).collect();
-                    let key = (func.clone(), sig);
-                    match signatures.get(&key) {
+                    match signatures.get(&(func, sig.clone())) {
                         Some(&other) => {
                             if self.find(other) != self.find(id.0) {
                                 self.union(other, id.0);
@@ -85,7 +107,7 @@ impl CongruenceClosure {
                             }
                         }
                         None => {
-                            signatures.insert(key, id.0);
+                            signatures.insert((func, sig), id.0);
                         }
                     }
                 }
@@ -94,6 +116,8 @@ impl CongruenceClosure {
                 break;
             }
         }
+        self.dirty = false;
+        self.propagated_terms = arena.len();
     }
 
     /// Returns `true` when the two terms are in the same congruence class.
@@ -185,5 +209,35 @@ mod tests {
         cc.assert_eq(a, f5);
         cc.propagate(&arena);
         assert!(cc.equal(a, f1));
+    }
+
+    #[test]
+    fn propagate_is_incremental() {
+        let mut arena = TermArena::new();
+        let mut cc = CongruenceClosure::new();
+        let a = arena.symbol("a");
+        let b = arena.symbol("b");
+        let fa = arena.app("f", vec![a]);
+        let fb = arena.app("f", vec![b]);
+        cc.assert_eq(a, b);
+        cc.propagate(&arena);
+        assert!(cc.equal(fa, fb));
+        // Stable state: another propagate call is a no-op (observable only
+        // through timing, but it must stay correct).
+        cc.propagate(&arena);
+        assert!(cc.equal(fa, fb));
+        // New terms re-enable propagation.
+        let gfa = arena.app("g", vec![fa]);
+        let gfb = arena.app("g", vec![fb]);
+        cc.propagate(&arena);
+        assert!(cc.equal(gfa, gfb));
+        // A redundant assertion (already equal) does not dirty the closure,
+        // a merging one does.
+        cc.assert_eq(a, b);
+        let c = arena.symbol("c");
+        let fc = arena.app("f", vec![c]);
+        cc.assert_eq(b, c);
+        cc.propagate(&arena);
+        assert!(cc.equal(fa, fc));
     }
 }

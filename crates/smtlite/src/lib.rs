@@ -7,12 +7,17 @@
 //! rewrites, and small linear facts over integers (list lengths, indices,
 //! termination measures).  `smtlite` implements exactly that fragment:
 //!
-//! * [`TermArena`] — hash-consed first-order terms,
-//! * [`RewriteRule`] / [`Rewriter`] — directed rewriting to a normal form,
-//! * [`CongruenceClosure`] — ground equality reasoning,
+//! * [`TermArena`] — hash-consed first-order terms with interned
+//!   [`SymbolId`] function symbols,
+//! * [`RewriteRule`] / [`Rewriter`] — directed rewriting to a normal form
+//!   (patterns are compiled once at `add_rule` time and dispatched through a
+//!   head-symbol index; normal forms are memoized across queries),
+//! * [`CongruenceClosure`] — ground equality reasoning with incremental
+//!   propagation,
 //! * [`Context`] — an `assume`/`check` interface in the style of Z3Py
 //!   (§2.4 of the paper) returning [`Verdict`]s with counterexample
-//!   explanations on failure.
+//!   explanations on failure; assumptions fold into one persistent
+//!   congruence closure instead of being re-asserted per query.
 //!
 //! # Example
 //!
@@ -44,6 +49,6 @@ pub mod term;
 
 pub use congruence::CongruenceClosure;
 pub use fingerprint::{fingerprint_str, Fingerprint, FingerprintBuilder};
-pub use rewrite::{Pattern, RewriteRule, Rewriter};
-pub use solver::{Context, Formula, Verdict};
-pub use term::{TermArena, TermData, TermId};
+pub use rewrite::{reference_normalize, Pattern, RewriteRule, Rewriter};
+pub use solver::{Context, Formula, SolverStats, Verdict};
+pub use term::{SymbolId, TermArena, TermData, TermId};

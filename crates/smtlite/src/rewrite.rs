@@ -6,12 +6,37 @@
 //! a term towards a normal form — so this module implements them as directed
 //! rewrite rules applied bottom-up until a fixpoint (with a step budget to
 //! guarantee termination even for badly oriented rule sets).
+//!
+//! # Hot-path architecture
+//!
+//! [`Pattern`] and [`RewriteRule`] are the authoring and serialization
+//! surface: named variables, string function heads, stable canonical forms
+//! for the incremental verification cache.  They are **not** what the
+//! rewriter executes.  At [`Rewriter::add_rule`] time every rule is compiled
+//! once into a slot-indexed form (`CompiledPattern`): variables become dense
+//! `u16` slots, function heads become arena-interned [`SymbolId`]s, and the
+//! rule is filed in a head-symbol index.  [`Rewriter::normalize`] then
+//!
+//! * consults only the rules whose left-hand head symbol matches the current
+//!   node (instead of scanning the whole library),
+//! * binds match results into one reusable slot buffer (no per-candidate
+//!   `HashMap` or `Vec` allocation), and
+//! * memoizes normal forms **across calls**: the arena is append-only and
+//!   the rule set is fixed after construction, so a computed normal form
+//!   never goes stale ([`Rewriter::add_rule`] clears the memo).
+//!
+//! Compiling against the arena's symbol table binds a `Rewriter` to one
+//! [`TermArena`]; using it with terms from a different arena is a logic
+//! error.  [`reference_normalize`] keeps the original string-compared
+//! linear-scan algorithm as an executable specification: the differential
+//! property tests (and the solver microbenchmarks) check the compiled path
+//! against it on random rule sets and terms.
 
 use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use crate::term::{TermArena, TermData, TermId};
+use crate::term::{SymbolId, TermArena, TermData, TermId};
 
 /// A pattern: a term with named holes.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -45,7 +70,8 @@ impl Pattern {
         Pattern::App(func.to_string(), Vec::new())
     }
 
-    /// Attempts to match the pattern against a term, extending `bindings`.
+    /// Attempts to match the pattern against a term, extending `bindings`
+    /// (the reference path; the hot path matches [`CompiledPattern`]s).
     fn matches(
         &self,
         term: TermId,
@@ -62,9 +88,10 @@ impl Pattern {
             },
             Pattern::Int(v) => arena.as_int(term) == Some(*v),
             Pattern::App(func, args) => match arena.data(term) {
-                TermData::App(f, term_args) if f == func && term_args.len() == args.len() => {
-                    let term_args = term_args.clone();
-                    args.iter().zip(term_args.iter()).all(|(p, &t)| p.matches(t, arena, bindings))
+                TermData::App(f, term_args)
+                    if arena.symbol_name(*f) == func && term_args.len() == args.len() =>
+                {
+                    args.iter().zip(term_args).all(|(p, &t)| p.matches(t, arena, bindings))
                 }
                 _ => false,
             },
@@ -162,10 +189,112 @@ impl RewriteRule {
     }
 }
 
+/// A pattern compiled for matching: named variables are replaced by dense
+/// slot indices (first-occurrence order over the rule's left-hand side) and
+/// string heads by arena-interned [`SymbolId`]s, so matching binds into a
+/// flat slot buffer and compares heads as integers.
+#[derive(Debug, Clone)]
+enum CompiledPattern {
+    /// A pattern variable, identified by its slot.
+    Slot(u16),
+    /// An integer literal that matches only itself.
+    Int(i64),
+    /// A function application over compiled argument patterns.
+    App(SymbolId, Vec<CompiledPattern>),
+}
+
+impl CompiledPattern {
+    fn compile(pattern: &Pattern, arena: &mut TermArena, slots: &mut Vec<String>) -> Self {
+        match pattern {
+            Pattern::Var(name) => {
+                let slot = match slots.iter().position(|s| s == name) {
+                    Some(slot) => slot,
+                    None => {
+                        slots.push(name.clone());
+                        slots.len() - 1
+                    }
+                };
+                CompiledPattern::Slot(u16::try_from(slot).expect("more than 65536 pattern vars"))
+            }
+            Pattern::Int(v) => CompiledPattern::Int(*v),
+            Pattern::App(func, args) => {
+                let head = arena.intern_symbol(func);
+                let compiled =
+                    args.iter().map(|a| Self::compile(a, arena, slots)).collect::<Vec<_>>();
+                CompiledPattern::App(head, compiled)
+            }
+        }
+    }
+
+    /// Matches against `term`, binding variables into `slots`.  `slots` must
+    /// be pre-sized to the rule's slot count and reset to `None`.
+    fn matches(&self, term: TermId, arena: &TermArena, slots: &mut [Option<TermId>]) -> bool {
+        match self {
+            CompiledPattern::Slot(slot) => match slots[*slot as usize] {
+                Some(bound) => bound == term,
+                None => {
+                    slots[*slot as usize] = Some(term);
+                    true
+                }
+            },
+            CompiledPattern::Int(v) => arena.as_int(term) == Some(*v),
+            CompiledPattern::App(head, args) => match arena.data(term) {
+                TermData::App(f, term_args) if f == head && term_args.len() == args.len() => {
+                    // Both borrows of `arena` are immutable, so the argument
+                    // list is matched in place — no per-candidate clone.
+                    args.iter().zip(term_args).all(|(p, &t)| p.matches(t, arena, slots))
+                }
+                _ => false,
+            },
+        }
+    }
+
+    /// Instantiates under the bindings produced by [`Self::matches`].
+    fn instantiate(&self, arena: &mut TermArena, slots: &[Option<TermId>]) -> TermId {
+        match self {
+            CompiledPattern::Slot(slot) => {
+                slots[*slot as usize].expect("rhs slot unbound by lhs match")
+            }
+            CompiledPattern::Int(v) => arena.int(*v),
+            CompiledPattern::App(head, args) => {
+                let ids: Vec<TermId> = args.iter().map(|p| p.instantiate(arena, slots)).collect();
+                arena.app_sym(*head, ids)
+            }
+        }
+    }
+}
+
+/// A rule compiled at [`Rewriter::add_rule`] time.
+#[derive(Debug, Clone)]
+struct CompiledRule {
+    lhs: CompiledPattern,
+    rhs: CompiledPattern,
+    /// Number of distinct variables (slot-buffer size for this rule).
+    num_slots: u16,
+}
+
 /// Applies a set of rewrite rules bottom-up until a fixpoint.
+///
+/// Rules are compiled and head-indexed as they are added (see the module
+/// docs), which binds the rewriter to the arena whose symbol table the rules
+/// were compiled against.  Normal forms are memoized across
+/// [`Rewriter::normalize`] calls: the arena is append-only and
+/// [`Rewriter::add_rule`] clears the memo, so entries never go stale.
 #[derive(Debug, Clone, Default)]
 pub struct Rewriter {
     rules: Vec<RewriteRule>,
+    compiled: Vec<CompiledRule>,
+    /// Rule indices filed under the `SymbolId` of their left-hand head, in
+    /// insertion order (indexed by `SymbolId::0`).
+    by_head: Vec<Vec<u32>>,
+    /// Rules whose left-hand side is not a function application (a bare
+    /// variable or integer pattern) — tried at every node, in order.
+    unindexed: Vec<u32>,
+    /// Persistent normal-form memo (keyed by term id, valid for the arena
+    /// the rules were compiled against).
+    memo: HashMap<TermId, TermId>,
+    /// Reusable per-candidate slot buffer (no allocation during matching).
+    slot_buf: Vec<Option<TermId>>,
     /// Total number of rule applications performed (for reporting).
     applications: usize,
 }
@@ -181,9 +310,42 @@ impl Rewriter {
         Rewriter::default()
     }
 
-    /// Adds a rule.
-    pub fn add_rule(&mut self, rule: RewriteRule) {
+    /// Adds a rule, compiling it against `arena`'s symbol table and filing
+    /// it under its left-hand head symbol.
+    ///
+    /// Adding a rule invalidates the normal-form memo (already-computed
+    /// normal forms may no longer be normal under the larger rule set).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the right-hand side mentions a variable the left-hand
+    /// side does not bind.
+    pub fn add_rule(&mut self, arena: &mut TermArena, rule: RewriteRule) {
+        let mut slots = Vec::new();
+        let lhs = CompiledPattern::compile(&rule.lhs, arena, &mut slots);
+        let lhs_slots = slots.clone();
+        let rhs = CompiledPattern::compile(&rule.rhs, arena, &mut slots);
+        assert!(
+            slots.len() == lhs_slots.len(),
+            "rewrite rule `{}` uses unbound variable `{}` on the right-hand side",
+            rule.name,
+            slots[lhs_slots.len()]
+        );
+        let index = u32::try_from(self.compiled.len()).expect("more than 4 billion rules");
+        match &lhs {
+            CompiledPattern::App(head, _) => {
+                let head = head.0 as usize;
+                if self.by_head.len() <= head {
+                    self.by_head.resize_with(head + 1, Vec::new);
+                }
+                self.by_head[head].push(index);
+            }
+            _ => self.unindexed.push(index),
+        }
+        let num_slots = u16::try_from(lhs_slots.len()).expect("more than 65536 pattern vars");
+        self.compiled.push(CompiledRule { lhs, rhs, num_slots });
         self.rules.push(rule);
+        self.memo.clear();
     }
 
     /// The rules currently installed.
@@ -196,12 +358,60 @@ impl Rewriter {
         self.applications
     }
 
+    /// Number of memoized normal forms currently held.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The candidate rules for a node, in insertion order: the rules filed
+    /// under the node's head symbol merged with the unindexed rules.  Calls
+    /// `try_rule` for each until it returns `true`.
+    fn for_each_candidate(
+        by_head: &[Vec<u32>],
+        unindexed: &[u32],
+        head: Option<SymbolId>,
+        mut try_rule: impl FnMut(usize) -> bool,
+    ) {
+        let indexed: &[u32] = match head {
+            Some(symbol) => by_head.get(symbol.0 as usize).map_or(&[], Vec::as_slice),
+            None => &[],
+        };
+        // Merge the two insertion-ordered lists so candidates are tried in
+        // exactly the order the rules were added (the first matching rule
+        // wins, as in the reference rewriter).
+        let (mut i, mut j) = (0, 0);
+        loop {
+            let next = match (indexed.get(i), unindexed.get(j)) {
+                (Some(&a), Some(&b)) => {
+                    if a < b {
+                        i += 1;
+                        a
+                    } else {
+                        j += 1;
+                        b
+                    }
+                }
+                (Some(&a), None) => {
+                    i += 1;
+                    a
+                }
+                (None, Some(&b)) => {
+                    j += 1;
+                    b
+                }
+                (None, None) => return,
+            };
+            if try_rule(next as usize) {
+                return;
+            }
+        }
+    }
+
     /// Normalises a term: rewrites innermost-first, repeatedly, until no rule
     /// applies anywhere or the step budget is exhausted.
     pub fn normalize(&mut self, arena: &mut TermArena, term: TermId) -> TermId {
         let mut steps = 0usize;
-        let mut cache: HashMap<TermId, TermId> = HashMap::new();
-        self.normalize_inner(arena, term, &mut steps, &mut cache)
+        self.normalize_inner(arena, term, &mut steps)
     }
 
     fn normalize_inner(
@@ -209,32 +419,30 @@ impl Rewriter {
         arena: &mut TermArena,
         term: TermId,
         steps: &mut usize,
-        cache: &mut HashMap<TermId, TermId>,
     ) -> TermId {
-        if let Some(&cached) = cache.get(&term) {
+        if let Some(&cached) = self.memo.get(&term) {
             return cached;
         }
         let mut current = term;
         loop {
             if *steps > MAX_STEPS {
+                // Not a fixpoint — do not memoize partial results.
                 return current;
             }
             // First normalise children.
-            let rebuilt = match arena.data(current).clone() {
-                TermData::App(func, args) => {
-                    let new_args: Vec<TermId> = args
-                        .iter()
-                        .map(|&a| self.normalize_inner(arena, a, steps, cache))
-                        .collect();
-                    if new_args == args {
-                        current
-                    } else {
-                        arena.app(&func, new_args)
-                    }
+            if let TermData::App(func, args) = arena.data(current) {
+                let (func, args) = (*func, args.clone());
+                let mut new_args = Vec::with_capacity(args.len());
+                let mut changed = false;
+                for &arg in &args {
+                    let normal = self.normalize_inner(arena, arg, steps);
+                    changed |= normal != arg;
+                    new_args.push(normal);
                 }
-                _ => current,
-            };
-            current = rebuilt;
+                if changed {
+                    current = arena.app_sym(func, new_args);
+                }
+            }
             // Constant-fold built-in integer arithmetic.
             if let Some(folded) = fold_arithmetic(arena, current) {
                 if folded != current {
@@ -243,30 +451,123 @@ impl Rewriter {
                     continue;
                 }
             }
-            // Then try the rules at the root.
-            let mut changed = false;
-            for rule_idx in 0..self.rules.len() {
-                let mut bindings = HashMap::new();
-                let matched = {
-                    let rule = &self.rules[rule_idx];
-                    rule.lhs.matches(current, arena, &mut bindings)
-                };
-                if matched {
-                    let rhs = self.rules[rule_idx].rhs.clone();
-                    let next = rhs.instantiate(arena, &bindings);
-                    if next != current {
-                        current = next;
-                        changed = true;
-                        self.applications += 1;
-                        *steps += 1;
-                        break;
-                    }
+            // Then try the head-indexed rules at the root.  A rule whose
+            // match instantiates to the identical term is a no-op and must
+            // fall through to later candidates, exactly like the reference
+            // rewriter's linear scan.
+            let mut rewritten = None;
+            let head = arena.head_symbol(current);
+            let (compiled, by_head, unindexed, slot_buf) =
+                (&self.compiled, &self.by_head, &self.unindexed, &mut self.slot_buf);
+            Self::for_each_candidate(by_head, unindexed, head, |rule_idx| {
+                let rule = &compiled[rule_idx];
+                slot_buf.clear();
+                slot_buf.resize(rule.num_slots as usize, None);
+                if !rule.lhs.matches(current, arena, slot_buf) {
+                    return false;
                 }
+                let next = rule.rhs.instantiate(arena, slot_buf);
+                if next != current {
+                    rewritten = Some(next);
+                    true
+                } else {
+                    false
+                }
+            });
+            let mut changed = false;
+            if let Some(next) = rewritten {
+                current = next;
+                changed = true;
+                self.applications += 1;
+                *steps += 1;
             }
             if !changed {
-                cache.insert(term, current);
+                if *steps > MAX_STEPS {
+                    // The budget ran out somewhere below this node: `current`
+                    // may contain an unreduced child, so it must not enter
+                    // the persistent memo (a later call gets a fresh budget
+                    // and must be free to finish the job).
+                    return current;
+                }
+                self.memo.insert(term, current);
+                if current != term {
+                    // A normal form is its own normal form; seed the memo so
+                    // re-normalising results is a single lookup.
+                    self.memo.insert(current, current);
+                }
                 return current;
             }
+        }
+    }
+}
+
+/// The reference rewriter: the original string-compared linear scan over the
+/// whole rule library at every node, with a fresh per-call cache.
+///
+/// This is the executable specification of [`Rewriter::normalize`] — slower
+/// but obviously faithful to rule order and innermost-first strategy.  The
+/// differential property tests assert that the compiled, head-indexed
+/// rewriter reaches exactly the same normal forms, and the solver
+/// microbenchmarks report the speedup of the compiled path over this one.
+pub fn reference_normalize(arena: &mut TermArena, rules: &[RewriteRule], term: TermId) -> TermId {
+    let mut steps = 0usize;
+    let mut cache: HashMap<TermId, TermId> = HashMap::new();
+    reference_normalize_inner(arena, rules, term, &mut steps, &mut cache)
+}
+
+fn reference_normalize_inner(
+    arena: &mut TermArena,
+    rules: &[RewriteRule],
+    term: TermId,
+    steps: &mut usize,
+    cache: &mut HashMap<TermId, TermId>,
+) -> TermId {
+    if let Some(&cached) = cache.get(&term) {
+        return cached;
+    }
+    let mut current = term;
+    loop {
+        if *steps > MAX_STEPS {
+            return current;
+        }
+        let rebuilt = match arena.data(current).clone() {
+            TermData::App(func, args) => {
+                let new_args: Vec<TermId> = args
+                    .iter()
+                    .map(|&a| reference_normalize_inner(arena, rules, a, steps, cache))
+                    .collect();
+                if new_args == args {
+                    current
+                } else {
+                    arena.app_sym(func, new_args)
+                }
+            }
+            _ => current,
+        };
+        current = rebuilt;
+        if let Some(folded) = fold_arithmetic(arena, current) {
+            if folded != current {
+                current = folded;
+                *steps += 1;
+                continue;
+            }
+        }
+        let mut changed = false;
+        for rule in rules {
+            let mut bindings = HashMap::new();
+            if rule.lhs.matches(current, arena, &mut bindings) {
+                let next = rule.rhs.instantiate(arena, &bindings);
+                if next != current {
+                    current = next;
+                    changed = true;
+                    *steps += 1;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            cache.insert(term, current);
+            return current;
         }
     }
 }
@@ -274,13 +575,15 @@ impl Rewriter {
 /// Constant-folds the built-in integer functions `+`, `-`, `*` when both
 /// arguments are literals.
 fn fold_arithmetic(arena: &mut TermArena, term: TermId) -> Option<TermId> {
-    let (func, args) = match arena.data(term) {
-        TermData::App(f, args) if args.len() == 2 => (f.clone(), args.clone()),
+    let (func, a, b) = match arena.data(term) {
+        TermData::App(f, args) if args.len() == 2 => {
+            let a = arena.as_int(args[0])?;
+            let b = arena.as_int(args[1])?;
+            (*f, a, b)
+        }
         _ => return None,
     };
-    let a = arena.as_int(args[0])?;
-    let b = arena.as_int(args[1])?;
-    let value = match func.as_str() {
+    let value = match arena.symbol_name(func) {
         "+" => a.checked_add(b)?,
         "-" => a.checked_sub(b)?,
         "*" => a.checked_mul(b)?,
@@ -305,7 +608,7 @@ mod tests {
     fn simple_cancellation() {
         let mut arena = TermArena::new();
         let mut rw = Rewriter::new();
-        rw.add_rule(double_h_rule());
+        rw.add_rule(&mut arena, double_h_rule());
         let q = arena.symbol("q0");
         let h1 = arena.app("h", vec![q]);
         let h2 = arena.app("h", vec![h1]);
@@ -319,7 +622,7 @@ mod tests {
     fn nested_cancellation_requires_repeated_passes() {
         let mut arena = TermArena::new();
         let mut rw = Rewriter::new();
-        rw.add_rule(double_h_rule());
+        rw.add_rule(&mut arena, double_h_rule());
         let q = arena.symbol("q0");
         // h(h(h(h(q)))) -> q
         let mut t = q;
@@ -333,7 +636,7 @@ mod tests {
     fn rewriting_happens_under_other_functions() {
         let mut arena = TermArena::new();
         let mut rw = Rewriter::new();
-        rw.add_rule(double_h_rule());
+        rw.add_rule(&mut arena, double_h_rule());
         let q = arena.symbol("q0");
         let hh = {
             let h1 = arena.app("h", vec![q]);
@@ -349,11 +652,14 @@ mod tests {
         // f(x, x) -> x must not match f(a, b).
         let mut arena = TermArena::new();
         let mut rw = Rewriter::new();
-        rw.add_rule(RewriteRule::new(
-            "idem",
-            Pattern::app("f", vec![Pattern::var("x"), Pattern::var("x")]),
-            Pattern::var("x"),
-        ));
+        rw.add_rule(
+            &mut arena,
+            RewriteRule::new(
+                "idem",
+                Pattern::app("f", vec![Pattern::var("x"), Pattern::var("x")]),
+                Pattern::var("x"),
+            ),
+        );
         let a = arena.symbol("a");
         let b = arena.symbol("b");
         let faa = arena.app("f", vec![a, a]);
@@ -385,20 +691,43 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "unbound variable")]
+    fn compiling_a_raw_rule_with_fresh_rhs_variable_is_rejected() {
+        // Bypassing RewriteRule::new (the fields are public) still cannot
+        // smuggle an unbound rhs variable past compilation.
+        let rule =
+            RewriteRule { name: "bad".to_string(), lhs: Pattern::var("x"), rhs: Pattern::var("y") };
+        let mut arena = TermArena::new();
+        Rewriter::new().add_rule(&mut arena, rule);
+    }
+
+    #[test]
     fn int_patterns_match_literals_only() {
         let mut arena = TermArena::new();
         let mut rw = Rewriter::new();
         // swap_out(k=1, a, b) -> b ; swap_out(k=2, a, b) -> a
-        rw.add_rule(RewriteRule::new(
-            "swap1",
-            Pattern::app("swap_out", vec![Pattern::int(1), Pattern::var("a"), Pattern::var("b")]),
-            Pattern::var("b"),
-        ));
-        rw.add_rule(RewriteRule::new(
-            "swap2",
-            Pattern::app("swap_out", vec![Pattern::int(2), Pattern::var("a"), Pattern::var("b")]),
-            Pattern::var("a"),
-        ));
+        rw.add_rule(
+            &mut arena,
+            RewriteRule::new(
+                "swap1",
+                Pattern::app(
+                    "swap_out",
+                    vec![Pattern::int(1), Pattern::var("a"), Pattern::var("b")],
+                ),
+                Pattern::var("b"),
+            ),
+        );
+        rw.add_rule(
+            &mut arena,
+            RewriteRule::new(
+                "swap2",
+                Pattern::app(
+                    "swap_out",
+                    vec![Pattern::int(2), Pattern::var("a"), Pattern::var("b")],
+                ),
+                Pattern::var("a"),
+            ),
+        );
         let a = arena.symbol("a");
         let b = arena.symbol("b");
         let one = arena.int(1);
@@ -407,5 +736,174 @@ mod tests {
         let s2 = arena.app("swap_out", vec![two, a, b]);
         assert_eq!(rw.normalize(&mut arena, s1), b);
         assert_eq!(rw.normalize(&mut arena, s2), a);
+    }
+
+    #[test]
+    fn memo_persists_across_calls_and_clears_on_add_rule() {
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        rw.add_rule(&mut arena, double_h_rule());
+        let q = arena.symbol("q0");
+        let h1 = arena.app("h", vec![q]);
+        let h2 = arena.app("h", vec![h1]);
+        assert_eq!(rw.normalize(&mut arena, h2), q);
+        let after_first = rw.applications();
+        assert!(rw.memo_len() > 0);
+        // The second normalisation answers from the memo: no new rule
+        // applications.
+        assert_eq!(rw.normalize(&mut arena, h2), q);
+        assert_eq!(rw.applications(), after_first);
+        // Installing a new rule invalidates the memo.
+        rw.add_rule(
+            &mut arena,
+            RewriteRule::new("x_cancel", Pattern::app("x", vec![Pattern::var("q")]), v_q()),
+        );
+        assert_eq!(rw.memo_len(), 0);
+        assert_eq!(rw.normalize(&mut arena, h2), q);
+    }
+
+    fn v_q() -> Pattern {
+        Pattern::var("q")
+    }
+
+    #[test]
+    fn unindexed_rules_preserve_insertion_order() {
+        // An Int-rooted rule (unindexed) added between two App-rooted rules
+        // must still be tried in insertion order: the first matching rule
+        // wins, exactly as in the reference rewriter.
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        rw.add_rule(
+            &mut arena,
+            RewriteRule::new(
+                "f_to_g",
+                Pattern::app("f", vec![v_q()]),
+                Pattern::app("g", vec![v_q()]),
+            ),
+        );
+        rw.add_rule(&mut arena, RewriteRule::new("seven", Pattern::int(7), Pattern::int(8)));
+        rw.add_rule(
+            &mut arena,
+            RewriteRule::new(
+                "f_to_h",
+                Pattern::app("f", vec![v_q()]),
+                Pattern::app("h", vec![v_q()]),
+            ),
+        );
+        let a = arena.symbol("a");
+        let fa = arena.app("f", vec![a]);
+        let ga = arena.app("g", vec![a]);
+        assert_eq!(rw.normalize(&mut arena, fa), ga);
+        let seven = arena.int(7);
+        let eight = arena.int(8);
+        assert_eq!(rw.normalize(&mut arena, seven), eight);
+        // The reference rewriter agrees on both.
+        let rules = rw.rules().to_vec();
+        assert_eq!(reference_normalize(&mut arena, &rules, fa), ga);
+        assert_eq!(reference_normalize(&mut arena, &rules, seven), eight);
+    }
+
+    #[test]
+    fn budget_truncated_results_are_not_memoized() {
+        // A term wide enough to exhaust MAX_STEPS mid-way: the partial
+        // result must not poison the persistent memo — later calls get a
+        // fresh budget and must keep making progress (the reference
+        // rewriter self-heals because its cache is per-call).
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        rw.add_rule(
+            &mut arena,
+            RewriteRule::new("d_unwrap", Pattern::app("d", vec![Pattern::var("x")]), v_q2()),
+        );
+        let width = MAX_STEPS + 100;
+        let mut wrapped = Vec::with_capacity(width);
+        let mut plain = Vec::with_capacity(width);
+        for i in 0..width {
+            let q = arena.symbol(&format!("q{i}"));
+            plain.push(q);
+            wrapped.push(arena.app("d", vec![q]));
+        }
+        let term = arena.app("z", wrapped);
+        let normal = arena.app("z", plain);
+        let first = rw.normalize(&mut arena, term);
+        assert_ne!(first, normal, "the first call must run out of budget");
+        // Each fresh call reduces at least MAX_STEPS more children; two more
+        // calls are ample to finish — unless the partial form was memoized,
+        // in which case no call ever progresses again.
+        let second = rw.normalize(&mut arena, term);
+        assert_ne!(second, first, "a fresh budget must make progress");
+        let third = rw.normalize(&mut arena, term);
+        assert_eq!(third, normal);
+        // And the true normal form is stable.
+        assert_eq!(rw.normalize(&mut arena, third), third);
+    }
+
+    fn v_q2() -> Pattern {
+        Pattern::var("x")
+    }
+
+    #[test]
+    fn no_op_matches_fall_through_to_later_rules() {
+        // comm: h(x, y) -> h(y, x) matches h(a, a) but instantiates to the
+        // identical term; the rewriter must fall through to collapse:
+        // h(x, x) -> x, exactly like the reference linear scan.
+        let rules = vec![
+            RewriteRule::new(
+                "comm",
+                Pattern::app("h", vec![Pattern::var("x"), Pattern::var("y")]),
+                Pattern::app("h", vec![Pattern::var("y"), Pattern::var("x")]),
+            ),
+            RewriteRule::new(
+                "collapse",
+                Pattern::app("h", vec![Pattern::var("x"), Pattern::var("x")]),
+                Pattern::var("x"),
+            ),
+        ];
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        for rule in &rules {
+            rw.add_rule(&mut arena, rule.clone());
+        }
+        let a = arena.symbol("a");
+        let haa = arena.app("h", vec![a, a]);
+        assert_eq!(rw.normalize(&mut arena, haa), a);
+        assert_eq!(reference_normalize(&mut arena, &rules, haa), a);
+    }
+
+    #[test]
+    fn compiled_matches_reference_on_the_circuit_library_shapes() {
+        // A miniature differential check (the full randomized one lives in
+        // tests/rewriter_differential.rs at the workspace root).
+        let rules = vec![
+            double_h_rule(),
+            RewriteRule::new(
+                "cx_cancel_1",
+                Pattern::app(
+                    "cx_1",
+                    vec![
+                        Pattern::app("cx_1", vec![Pattern::var("a"), Pattern::var("b")]),
+                        Pattern::app("cx_2", vec![Pattern::var("a"), Pattern::var("b")]),
+                    ],
+                ),
+                Pattern::var("a"),
+            ),
+        ];
+        let mut arena = TermArena::new();
+        let mut rw = Rewriter::new();
+        for rule in &rules {
+            rw.add_rule(&mut arena, rule.clone());
+        }
+        let a = arena.symbol("a");
+        let b = arena.symbol("b");
+        let c1 = arena.app("cx_1", vec![a, b]);
+        let c2 = arena.app("cx_2", vec![a, b]);
+        let nested = arena.app("cx_1", vec![c1, c2]);
+        let h = arena.app("h", vec![nested]);
+        let hh = arena.app("h", vec![h]);
+        for &t in &[a, b, c1, c2, nested, h, hh] {
+            let compiled = rw.normalize(&mut arena, t);
+            let reference = reference_normalize(&mut arena, &rules, t);
+            assert_eq!(compiled, reference, "{}", arena.display(t));
+        }
     }
 }

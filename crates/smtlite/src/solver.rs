@@ -3,11 +3,21 @@
 //!
 //! A [`Context`] owns a term arena, a set of directed rewrite axioms, and a
 //! list of assumptions.  `check_*` queries normalise the involved terms with
-//! the rewrite axioms, build a congruence closure from the (normalised)
+//! the rewrite axioms, consult a congruence closure over the (normalised)
 //! assumed equalities, and decide the query.  Failed equality checks return a
 //! [`Verdict::Refuted`] carrying the two distinct normal forms — in the free
 //! term algebra these *are* a counterexample, and the Giallar verifier turns
 //! them into a concrete circuit pair for the user.
+//!
+//! The context is **incremental**: assumptions are folded into one persistent
+//! [`CongruenceClosure`] as they arrive (instead of cloning the assumption
+//! list and rebuilding the closure on every query), [`Context::push`] /
+//! [`Context::pop`] snapshot and restore that closure, and the rewriter's
+//! normal-form memo survives across queries because the arena is append-only
+//! and the rule set is fixed after construction.  Installing a rule after
+//! assumptions were folded marks the folded state dirty and the next query
+//! rebuilds it, so late [`Context::add_rule`] calls keep the exact semantics
+//! of the non-incremental solver.
 
 use serde::{Deserialize, Serialize};
 
@@ -73,18 +83,48 @@ pub struct SolverStats {
     pub checks: usize,
     /// Number of rewrite-rule applications performed.
     pub rewrite_steps: usize,
-    /// Number of equalities asserted into congruence closures.
+    /// Number of assumed equalities folded into the congruence closure.
+    /// The incremental solver folds each assumption once (re-folding only
+    /// after a `pop` discards it or a late `add_rule` invalidates the folded
+    /// state), so this counts distinct folds, not per-query re-assertions.
     pub asserted_equalities: usize,
 }
 
+/// One entry of the scope stack: everything [`Context::pop`] must restore.
+#[derive(Debug, Clone)]
+struct Scope {
+    assumptions: usize,
+    facts: usize,
+    folded: usize,
+    /// Installed rule count at `push` time: rules are not scoped, so a rule
+    /// added inside the scope survives the `pop` and the restored folded
+    /// state (built under fewer rules) must be marked stale.
+    rules: usize,
+    cc: CongruenceClosure,
+}
+
 /// An `assume`/`check` solver context.
-#[derive(Debug, Default)]
+///
+/// Cloning a context is supported (and cheap relative to re-installing a
+/// rule library): the verifier keeps a fully-initialised template context
+/// per process and clones it for each pass, so rule compilation happens
+/// once instead of once per pass.
+#[derive(Debug, Clone, Default)]
 pub struct Context {
     arena: TermArena,
     rewriter: Rewriter,
     assumptions: Vec<Formula>,
-    scopes: Vec<usize>,
+    scopes: Vec<Scope>,
     stats: SolverStats,
+    /// Persistent congruence closure over the folded assumed equalities.
+    cc: CongruenceClosure,
+    /// Non-equality assumptions (arithmetic facts), folded incrementally.
+    facts: Vec<Formula>,
+    /// How many of `assumptions` have been folded into `cc` / `facts`.
+    folded: usize,
+    /// Set by [`Context::add_rule`]: normal forms inside `cc` may be stale,
+    /// rebuild the folded state on the next query.
+    rules_dirty: bool,
 }
 
 impl Context {
@@ -104,8 +144,13 @@ impl Context {
     }
 
     /// Installs a rewrite axiom.
+    ///
+    /// Rules installed after assumptions were already folded invalidate the
+    /// folded congruence state (assumption terms must be re-normalised under
+    /// the larger rule set); the next query rebuilds it.
     pub fn add_rule(&mut self, rule: RewriteRule) {
-        self.rewriter.add_rule(rule);
+        self.rewriter.add_rule(&mut self.arena, rule);
+        self.rules_dirty = true;
     }
 
     /// Number of installed rewrite axioms.
@@ -113,7 +158,8 @@ impl Context {
         self.rewriter.rules().len()
     }
 
-    /// Adds an assumption (Z3Py's `assume`).
+    /// Adds an assumption (Z3Py's `assume`).  The assumption is folded into
+    /// the persistent congruence closure on the next query.
     pub fn assume(&mut self, formula: Formula) {
         self.assumptions.push(formula);
     }
@@ -123,20 +169,37 @@ impl Context {
         self.assume(Formula::Eq(a, b));
     }
 
-    /// Pushes an assumption scope (Z3Py's `assertion.push()`).
+    /// Pushes an assumption scope (Z3Py's `assertion.push()`), snapshotting
+    /// the incremental congruence state.
     pub fn push(&mut self) {
-        self.scopes.push(self.assumptions.len());
+        self.scopes.push(Scope {
+            assumptions: self.assumptions.len(),
+            facts: self.facts.len(),
+            folded: self.folded,
+            rules: self.rewriter.rules().len(),
+            cc: self.cc.clone(),
+        });
     }
 
     /// Pops the most recent assumption scope, discarding assumptions made
-    /// inside it.
+    /// inside it and restoring the congruence closure snapshot taken by
+    /// [`Context::push`].
     ///
     /// # Panics
     ///
     /// Panics when no scope is open.
     pub fn pop(&mut self) {
-        let mark = self.scopes.pop().expect("pop without matching push");
-        self.assumptions.truncate(mark);
+        let scope = self.scopes.pop().expect("pop without matching push");
+        self.assumptions.truncate(scope.assumptions);
+        self.facts.truncate(scope.facts);
+        self.folded = scope.folded;
+        self.cc = scope.cc;
+        if self.rewriter.rules().len() != scope.rules {
+            // Rules installed inside the scope outlive it; the restored
+            // snapshot was folded under the smaller rule set and must be
+            // rebuilt on the next query.
+            self.rules_dirty = true;
+        }
     }
 
     /// Cumulative statistics.
@@ -161,37 +224,63 @@ impl Context {
         self.check(&Formula::Eq(lhs, rhs))
     }
 
+    /// Brings the persistent congruence closure and fact list up to date
+    /// with the assumption list.
+    fn fold_assumptions(&mut self) {
+        if self.rules_dirty {
+            // A rule arrived after assumptions were folded: previously
+            // computed normal forms are stale, rebuild from scratch.
+            self.cc = CongruenceClosure::new();
+            self.facts.clear();
+            self.folded = 0;
+            self.rules_dirty = false;
+        }
+        while self.folded < self.assumptions.len() {
+            let assumption = self.assumptions[self.folded].clone();
+            self.folded += 1;
+            self.fold_one(&assumption);
+        }
+    }
+
+    /// Folds a single assumption: equalities (including those inside a
+    /// conjunction) are normalised and asserted into the closure, everything
+    /// else is recorded as an arithmetic fact.
+    fn fold_one(&mut self, assumption: &Formula) {
+        match assumption {
+            Formula::Eq(a, b) => {
+                let na = self.normalize(*a);
+                let nb = self.normalize(*b);
+                self.cc.assert_eq(na, nb);
+                self.stats.asserted_equalities += 1;
+            }
+            Formula::And(parts) => {
+                for part in parts {
+                    if let Formula::Eq(a, b) = part {
+                        let na = self.normalize(*a);
+                        let nb = self.normalize(*b);
+                        self.cc.assert_eq(na, nb);
+                        self.stats.asserted_equalities += 1;
+                    } else {
+                        self.facts.push(part.clone());
+                    }
+                }
+            }
+            other => self.facts.push(other.clone()),
+        }
+    }
+
     /// Checks a formula under the current assumptions.
     pub fn check(&mut self, goal: &Formula) -> Verdict {
         self.stats.checks += 1;
-        let assumptions = self.assumptions.clone();
-        // Build a congruence closure from the assumed equalities (normalised).
-        let mut cc = CongruenceClosure::new();
-        let mut arithmetic_facts: Vec<Formula> = Vec::new();
-        for assumption in &assumptions {
-            match assumption {
-                Formula::Eq(a, b) => {
-                    let na = self.normalize(*a);
-                    let nb = self.normalize(*b);
-                    cc.assert_eq(na, nb);
-                    self.stats.asserted_equalities += 1;
-                }
-                Formula::And(parts) => {
-                    for part in parts {
-                        if let Formula::Eq(a, b) = part {
-                            let na = self.normalize(*a);
-                            let nb = self.normalize(*b);
-                            cc.assert_eq(na, nb);
-                            self.stats.asserted_equalities += 1;
-                        } else {
-                            arithmetic_facts.push(part.clone());
-                        }
-                    }
-                }
-                other => arithmetic_facts.push(other.clone()),
-            }
-        }
-        self.eval(goal, &mut cc, &arithmetic_facts)
+        self.fold_assumptions();
+        // Move the persistent state out so `eval` can borrow `self` mutably
+        // (for normalisation) alongside the closure and the facts.
+        let mut cc = std::mem::take(&mut self.cc);
+        let facts = std::mem::take(&mut self.facts);
+        let verdict = self.eval(goal, &mut cc, &facts);
+        self.cc = cc;
+        self.facts = facts;
+        verdict
     }
 
     fn eval(&mut self, goal: &Formula, cc: &mut CongruenceClosure, facts: &[Formula]) -> Verdict {
@@ -264,7 +353,8 @@ impl Context {
                 Verdict::Proved
             }
             Formula::Implies(lhs, rhs) => {
-                // Assume the antecedent's equalities, then check the consequent.
+                // Assume the antecedent's equalities in a scratch copy of the
+                // closure, then check the consequent.
                 let mut cc2 = cc.clone();
                 let mut extra_facts = facts.to_vec();
                 collect_equalities(lhs, &mut |a, b| {
@@ -340,9 +430,13 @@ impl Context {
         use crate::term::TermData;
         match self.arena.data(term) {
             TermData::Int(_) => Some((term, 0)),
-            TermData::App(f, args) if args.len() == 2 && (f == "+" || f == "-") => {
+            TermData::App(f, args) if args.len() == 2 => {
+                let name = self.arena.symbol_name(*f);
+                if name != "+" && name != "-" {
+                    return Some((term, 0));
+                }
                 let offset = self.arena.as_int(args[1])?;
-                let signed = if f == "+" { offset } else { -offset };
+                let signed = if name == "+" { offset } else { -offset };
                 let (base, inner_off) = self.base_offset(args[0]).unwrap_or((args[0], 0));
                 Some((base, inner_off + signed))
             }
@@ -399,6 +493,27 @@ mod tests {
     }
 
     #[test]
+    fn late_rules_renormalize_folded_assumptions() {
+        // An assumption folded under the empty rule set must be re-folded
+        // when a rule that changes its normal form arrives afterwards.
+        let mut ctx = Context::new();
+        let q = ctx.arena_mut().symbol("q");
+        let r = ctx.arena_mut().symbol("r");
+        let hq = ctx.arena_mut().app("h", vec![q]);
+        let hhq = ctx.arena_mut().app("h", vec![hq]);
+        ctx.assume_eq(hhq, r);
+        assert!(ctx.check_eq(hhq, r).is_proved());
+        ctx.add_rule(RewriteRule::new(
+            "h_cancel",
+            Pattern::app("h", vec![Pattern::app("h", vec![Pattern::var("q")])]),
+            Pattern::var("q"),
+        ));
+        // Under the new rule h(h(q)) normalises to q, so the assumption now
+        // reads q = r.
+        assert!(ctx.check_eq(q, r).is_proved());
+    }
+
+    #[test]
     fn z3py_example_from_the_paper() {
         // assume(x >= 3); y = x*x; assert(y > x) succeeds only for ground x —
         // symbolic nonlinear arithmetic is outside the fragment and reported
@@ -452,6 +567,62 @@ mod tests {
     }
 
     #[test]
+    fn scopes_restore_the_congruence_snapshot() {
+        // The popped closure must forget derived congruences, not just the
+        // raw assumption list.
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("a");
+        let b = ctx.arena_mut().symbol("b");
+        let fa = ctx.arena_mut().app("f", vec![a]);
+        let fb = ctx.arena_mut().app("f", vec![b]);
+        ctx.push();
+        ctx.assume_eq(a, b);
+        assert!(ctx.check_eq(fa, fb).is_proved());
+        ctx.pop();
+        assert!(ctx.check_eq(fa, fb).is_refuted());
+        // Nested scopes unwind one level at a time.
+        ctx.push();
+        ctx.assume_eq(a, b);
+        ctx.push();
+        let c = ctx.arena_mut().symbol("c");
+        ctx.assume_eq(b, c);
+        let fc = ctx.arena_mut().app("f", vec![c]);
+        assert!(ctx.check_eq(fa, fc).is_proved());
+        ctx.pop();
+        assert!(ctx.check_eq(fa, fc).is_refuted());
+        assert!(ctx.check_eq(fa, fb).is_proved());
+        ctx.pop();
+        assert!(ctx.check_eq(fa, fb).is_refuted());
+    }
+
+    #[test]
+    fn rules_added_inside_a_scope_survive_pop_and_refold_assumptions() {
+        // Rules are not scoped: a rule installed between push and pop stays
+        // installed, so the popped congruence snapshot (folded under fewer
+        // rules) must be rebuilt — the pre-incremental solver re-normalised
+        // every assumption on every check and got this right implicitly.
+        let mut ctx = Context::new();
+        let q = ctx.arena_mut().symbol("q");
+        let r = ctx.arena_mut().symbol("r");
+        let hq = ctx.arena_mut().app("h", vec![q]);
+        let hhq = ctx.arena_mut().app("h", vec![hq]);
+        ctx.assume_eq(hhq, r);
+        assert!(ctx.check_eq(hhq, r).is_proved());
+        assert!(ctx.check_eq(q, r).is_refuted());
+        ctx.push();
+        ctx.add_rule(RewriteRule::new(
+            "h_cancel",
+            Pattern::app("h", vec![Pattern::app("h", vec![Pattern::var("q")])]),
+            Pattern::var("q"),
+        ));
+        assert!(ctx.check_eq(q, r).is_proved());
+        ctx.pop();
+        // The rule survives the pop; h(h(q)) still normalises to q, so the
+        // assumption still proves q = r.
+        assert!(ctx.check_eq(q, r).is_proved());
+    }
+
+    #[test]
     fn negation_and_conjunction() {
         let mut ctx = Context::new();
         let a = ctx.arena_mut().symbol("a");
@@ -472,6 +643,9 @@ mod tests {
         let fb = ctx.arena_mut().app("f", vec![b]);
         let goal = Formula::Implies(Box::new(Formula::Eq(a, b)), Box::new(Formula::Eq(fa, fb)));
         assert!(ctx.check(&goal).is_proved());
+        // The antecedent's equality is scoped to the implication: the same
+        // equality is not available to a plain query afterwards.
+        assert!(ctx.check_eq(fa, fb).is_refuted());
     }
 
     #[test]
@@ -498,6 +672,19 @@ mod tests {
         let _ = ctx.check_eq(b, a);
         let stats = ctx.stats();
         assert_eq!(stats.checks, 2);
-        assert!(stats.asserted_equalities >= 2);
+        // The incremental solver folds the single assumed equality once —
+        // it is not re-asserted per query.
+        assert_eq!(stats.asserted_equalities, 1);
+        // A popped-and-reassumed equality is folded again.
+        let mut ctx = Context::new();
+        let a = ctx.arena_mut().symbol("a");
+        let b = ctx.arena_mut().symbol("b");
+        ctx.push();
+        ctx.assume_eq(a, b);
+        let _ = ctx.check_eq(a, b);
+        ctx.pop();
+        ctx.assume_eq(a, b);
+        let _ = ctx.check_eq(a, b);
+        assert_eq!(ctx.stats().asserted_equalities, 2);
     }
 }

@@ -1,8 +1,11 @@
-//! Hash-consed first-order terms.
+//! Hash-consed first-order terms with interned function symbols.
 //!
 //! Terms are interned in a [`TermArena`]: structurally equal terms always
 //! receive the same [`TermId`], so syntactic equality is an integer compare
-//! and the congruence closure can use ids as array indices.
+//! and the congruence closure can use ids as array indices.  Function symbols
+//! are likewise interned to [`SymbolId`]s in a per-arena string table, so the
+//! rewriter and the congruence closure compare heads as `u32`s instead of
+//! hashing and comparing `String`s at every term node.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -13,6 +16,16 @@ use serde::{Deserialize, Serialize};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TermId(pub usize);
 
+/// Identifier of an interned function symbol inside a [`TermArena`].
+///
+/// Symbols are interned once per arena (see [`TermArena::intern_symbol`]);
+/// every structure that needs to compare heads — the rewriter's head index,
+/// compiled patterns, congruence-closure signatures — stores the `u32` id and
+/// compares ids, never strings.  The printable name is recovered with
+/// [`TermArena::symbol_name`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SymbolId(pub u32);
+
 /// The shape of a term.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TermData {
@@ -20,15 +33,17 @@ pub enum TermData {
     Symbol(String),
     /// An integer literal.
     Int(i64),
-    /// An application of a named function to argument terms.
-    App(String, Vec<TermId>),
+    /// An application of an interned function symbol to argument terms.
+    App(SymbolId, Vec<TermId>),
 }
 
-/// An interning arena for terms.
+/// An interning arena for terms and function symbols.
 #[derive(Debug, Clone, Default)]
 pub struct TermArena {
     terms: Vec<TermData>,
     index: HashMap<TermData, TermId>,
+    symbols: Vec<String>,
+    symbol_index: HashMap<String, SymbolId>,
 }
 
 impl TermArena {
@@ -45,6 +60,37 @@ impl TermArena {
     /// Returns `true` when no terms have been interned.
     pub fn is_empty(&self) -> bool {
         self.terms.is_empty()
+    }
+
+    /// Interns a function symbol, returning the existing id when the name is
+    /// already present.
+    pub fn intern_symbol(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.symbol_index.get(name) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(self.symbols.len()).expect("symbol table overflow"));
+        self.symbols.push(name.to_string());
+        self.symbol_index.insert(name.to_string(), id);
+        id
+    }
+
+    /// Looks up a function symbol without interning it.
+    pub fn find_symbol(&self, name: &str) -> Option<SymbolId> {
+        self.symbol_index.get(name).copied()
+    }
+
+    /// The printable name of an interned function symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the id comes from a different arena.
+    pub fn symbol_name(&self, symbol: SymbolId) -> &str {
+        &self.symbols[symbol.0 as usize]
+    }
+
+    /// Number of distinct function symbols interned so far.
+    pub fn num_symbols(&self) -> usize {
+        self.symbols.len()
     }
 
     /// Interns a term, returning the existing id when the term is already
@@ -69,9 +115,16 @@ impl TermArena {
         self.intern(TermData::Int(value))
     }
 
-    /// Interns a function application.
+    /// Interns a function application, interning the function name first.
     pub fn app(&mut self, func: &str, args: Vec<TermId>) -> TermId {
-        self.intern(TermData::App(func.to_string(), args))
+        let symbol = self.intern_symbol(func);
+        self.intern(TermData::App(symbol, args))
+    }
+
+    /// Interns a function application of an already-interned symbol (the
+    /// allocation-free fast path used by the rewriter).
+    pub fn app_sym(&mut self, func: SymbolId, args: Vec<TermId>) -> TermId {
+        self.intern(TermData::App(func, args))
     }
 
     /// Looks up the data of an interned term.
@@ -81,6 +134,14 @@ impl TermArena {
     /// Panics when the id comes from a different arena.
     pub fn data(&self, id: TermId) -> &TermData {
         &self.terms[id.0]
+    }
+
+    /// The head symbol of a term when it is a function application.
+    pub fn head_symbol(&self, id: TermId) -> Option<SymbolId> {
+        match self.data(id) {
+            TermData::App(f, _) => Some(*f),
+            _ => None,
+        }
     }
 
     /// Returns the integer value of a term when it is a literal.
@@ -97,11 +158,12 @@ impl TermArena {
             TermData::Symbol(s) => s.clone(),
             TermData::Int(v) => v.to_string(),
             TermData::App(f, args) => {
+                let name = self.symbol_name(*f);
                 if args.is_empty() {
-                    f.clone()
+                    name.to_string()
                 } else {
                     let inner: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
-                    format!("{f}({})", inner.join(", "))
+                    format!("{name}({})", inner.join(", "))
                 }
             }
         }
@@ -123,7 +185,7 @@ impl TermArena {
 
 impl fmt::Display for TermArena {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "arena with {} terms", self.terms.len())
+        writeln!(f, "arena with {} terms over {} symbols", self.terms.len(), self.symbols.len())
     }
 }
 
@@ -154,6 +216,23 @@ mod tests {
         assert_ne!(fa, fb);
         let ga = arena.app("g", vec![a]);
         assert_ne!(fa, ga);
+    }
+
+    #[test]
+    fn symbols_are_interned_once() {
+        let mut arena = TermArena::new();
+        let f = arena.intern_symbol("f");
+        assert_eq!(arena.intern_symbol("f"), f);
+        assert_eq!(arena.find_symbol("f"), Some(f));
+        assert_eq!(arena.find_symbol("g"), None);
+        assert_eq!(arena.symbol_name(f), "f");
+        let a = arena.symbol("a");
+        let via_str = arena.app("f", vec![a]);
+        let via_sym = arena.app_sym(f, vec![a]);
+        assert_eq!(via_str, via_sym);
+        assert_eq!(arena.num_symbols(), 1);
+        assert_eq!(arena.head_symbol(via_sym), Some(f));
+        assert_eq!(arena.head_symbol(a), None);
     }
 
     #[test]
