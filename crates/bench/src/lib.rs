@@ -8,9 +8,11 @@
 
 use std::time::Instant;
 
+use giallar_core::backend::BackendSelection;
 use giallar_core::json::Value;
 use giallar_core::verifier::{
-    render_table2, reports_agree, verify_all_passes, verify_all_passes_parallel, PassReport,
+    render_table2, reports_agree, verify_all_passes, verify_all_passes_parallel,
+    verify_all_passes_with, PassReport,
 };
 use giallar_core::wrapper::{baseline_transpile, giallar_transpile};
 use qc_ir::unitary::circuits_equivalent;
@@ -22,6 +24,13 @@ use smtlite::{reference_normalize, Context, Rewriter, TermId};
 /// Table 2: verification results for the 44 verified passes.
 pub fn table2_reports() -> Vec<PassReport> {
     verify_all_passes()
+}
+
+/// Table 2 under an explicit solver-backend selection (the differential
+/// `--backend reference` run discharges through the naive reference
+/// normalizer; verdicts must agree with the default routing).
+pub fn table2_reports_with(selection: BackendSelection) -> Vec<PassReport> {
+    verify_all_passes_with(selection)
 }
 
 /// Renders Table 2 as text.
@@ -532,9 +541,22 @@ pub fn solver_microbench_rows(iters: usize) -> Vec<MicrobenchRow> {
     });
 
     // --- verify/registry_cold -------------------------------------------
+    // The optimized column is the default backend routing; the reference
+    // column discharges the same registry through the reference backend
+    // (naive normalizer), cross-checking that the verdicts agree — the
+    // backend seam's differential guarantee, timed.
+    let baseline = verify_all_passes();
     let cold = best_of(iters, total_subgoals, || {
         let reports = verify_all_passes();
         assert!(reports.iter().all(|r| r.verified));
+        reports.iter().map(|r| r.subgoals).sum()
+    });
+    let reference = best_of(iters, total_subgoals, || {
+        let reports = table2_reports_with(BackendSelection::Reference);
+        assert!(
+            reports_agree(&baseline, &reports),
+            "reference backend disagreed with the default routing"
+        );
         reports.iter().map(|r| r.subgoals).sum()
     });
     rows.push(MicrobenchRow {
@@ -542,7 +564,7 @@ pub fn solver_microbench_rows(iters: usize) -> Vec<MicrobenchRow> {
         items: passes.len(),
         checksum: total_subgoals,
         optimized_seconds: cold,
-        reference_seconds: None,
+        reference_seconds: Some(reference),
     });
 
     rows
@@ -722,10 +744,12 @@ mod tests {
         assert!(timed.contains("optimized_seconds"));
         assert!(timed.contains("reference_seconds"));
         assert!(timed.contains("speedup"));
-        // Both referenced workloads report a speedup column; the actual
-        // perf comparison lives in the criterion bench (a single debug-mode
-        // iteration here would make wall-clock assertions flaky).
-        assert_eq!(rows.iter().filter(|r| r.speedup().is_some()).count(), 2);
+        // The referenced workloads (normalize, check, and the
+        // default-vs-reference-backend registry verify) report a speedup
+        // column; the actual perf comparison lives in the criterion bench
+        // (a single debug-mode iteration here would make wall-clock
+        // assertions flaky).
+        assert_eq!(rows.iter().filter(|r| r.speedup().is_some()).count(), 3);
         assert!(solver_microbench_text(&rows).contains("normalize/wire_terms"));
     }
 

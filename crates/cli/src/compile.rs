@@ -1,11 +1,15 @@
-//! `giallar compile` — run the baseline transpiler on a circuit and report
-//! compilation stats.
+//! `giallar compile` — run the transpiler on a circuit and report
+//! compilation stats; with `--verified`, run the wrapped (Giallar) pipeline
+//! alongside the baseline, report the verification overhead inline, and
+//! re-verify the scheduled passes through the solver-backend registry.
 
 use std::path::Path;
 use std::time::Instant;
 
+use giallar_core::backend::BackendSelection;
 use giallar_core::json::Value;
-use giallar_core::wrapper::baseline_transpile;
+use giallar_core::verifier::verify_pass_with;
+use giallar_core::wrapper::{baseline_transpile, giallar_pipeline_pass_names, giallar_transpile};
 use qc_ir::{Circuit, CouplingMap};
 
 use crate::{value_of, CmdError, CmdResult};
@@ -74,12 +78,26 @@ fn load_circuit(input: &str) -> Result<(String, Circuit), CmdError> {
         })
 }
 
+/// The Figure 11 measurement for one circuit: both pipelines, inline.
+struct VerifiedRun {
+    giallar_seconds: f64,
+    /// Relative overhead of the verified pipeline (0.08 = +8 %).
+    overhead: f64,
+    /// Pipeline passes re-verified through the backend registry.
+    passes_verified: usize,
+    /// Subgoals discharged across those passes.
+    subgoals: usize,
+    verify_seconds: f64,
+}
+
 /// Runs `giallar compile`.
 pub fn run(args: &[String]) -> CmdResult {
     let mut input: Option<String> = None;
     let mut device_spec = "falcon27".to_string();
     let mut seed = 7u64;
     let mut format = Format::Table;
+    let mut verified_mode = false;
+    let mut backend: Option<BackendSelection> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -98,6 +116,8 @@ pub fn run(args: &[String]) -> CmdResult {
                     }
                 }
             }
+            "--verified" => verified_mode = true,
+            "--backend" => backend = Some(crate::parse_backend(args, &mut i)?),
             "--list" => {
                 for bench in qasmbench::benchmark_suite() {
                     println!(
@@ -121,6 +141,15 @@ pub fn run(args: &[String]) -> CmdResult {
         }
         i += 1;
     }
+    if backend.is_some() && !verified_mode {
+        // Silently ignoring the flag would let a user believe a
+        // reference-backend verification ran when nothing did.
+        return Err(CmdError::Usage(
+            "compile: --backend selects the re-verification backend and requires --verified"
+                .to_string(),
+        ));
+    }
+    let backend = backend.unwrap_or_default();
     let input =
         input.ok_or_else(|| CmdError::Usage("compile: missing input circuit".to_string()))?;
     let (name, circuit) = load_circuit(&input)?;
@@ -138,6 +167,47 @@ pub fn run(args: &[String]) -> CmdResult {
         .map_err(|error| CmdError::Failed(format!("compiling {name}: {error:?}")))?;
     let seconds = start.elapsed().as_secs_f64();
     let swap_mapped = result.properties.get_bool("is_swap_mapped");
+
+    let verified_run = if verified_mode {
+        let start = Instant::now();
+        let wrapped = giallar_transpile(&circuit, &device, seed)
+            .map_err(|error| CmdError::Failed(format!("verified-compiling {name}: {error:?}")))?;
+        let giallar_seconds = start.elapsed().as_secs_f64();
+        if wrapped.circuit != result.circuit {
+            return Err(CmdError::Failed(format!(
+                "verified pipeline diverged from the baseline on {name}: \
+                 {} vs {} gates — the wrapper conversions are not transparent",
+                wrapped.circuit.size(),
+                result.circuit.size()
+            )));
+        }
+        // Re-verify the passes this compilation actually scheduled, through
+        // the selected solver-backend routing.
+        let pipeline = giallar_pipeline_pass_names(&device, seed);
+        let registry = giallar_core::registry::verified_passes();
+        let start = Instant::now();
+        let mut passes_verified = 0usize;
+        let mut subgoals = 0usize;
+        for pass_name in &pipeline {
+            let pass = registry.iter().find(|p| p.name == *pass_name).ok_or_else(|| {
+                CmdError::Failed(format!("pipeline pass {pass_name} is not in the registry"))
+            })?;
+            let report = verify_pass_with(pass, backend);
+            if !report.verified {
+                return Err(CmdError::Failed(format!(
+                    "pipeline pass {pass_name} failed verification: {}",
+                    report.failure.as_deref().unwrap_or("no counterexample recorded")
+                )));
+            }
+            passes_verified += 1;
+            subgoals += report.subgoals;
+        }
+        let verify_seconds = start.elapsed().as_secs_f64();
+        let overhead = if seconds > 0.0 { giallar_seconds / seconds - 1.0 } else { 0.0 };
+        Some(VerifiedRun { giallar_seconds, overhead, passes_verified, subgoals, verify_seconds })
+    } else {
+        None
+    };
 
     match format {
         Format::Table => {
@@ -161,9 +231,23 @@ pub fn run(args: &[String]) -> CmdResult {
                 swap_mapped.map_or("unknown".to_string(), |b| b.to_string())
             );
             println!("compile time:   {:.2} ms", seconds * 1e3);
+            if let Some(run) = &verified_run {
+                println!(
+                    "verified run:   {:.2} ms ({:+.1}% overhead, output identical)",
+                    run.giallar_seconds * 1e3,
+                    run.overhead * 100.0
+                );
+                println!(
+                    "verification:   {} pipeline passes, {} subgoals proved in {:.2} ms \
+                     (backend {backend})",
+                    run.passes_verified,
+                    run.subgoals,
+                    run.verify_seconds * 1e3
+                );
+            }
         }
         Format::Json => {
-            let doc = Value::object(vec![
+            let mut members = vec![
                 ("schema", Value::String("giallar-compile/v1".to_string())),
                 ("circuit", Value::String(name)),
                 ("device", Value::String(device_spec)),
@@ -186,8 +270,22 @@ pub fn run(args: &[String]) -> CmdResult {
                 ),
                 ("swap_mapped", swap_mapped.map_or(Value::Null, Value::Bool)),
                 ("seconds", Value::Float(seconds)),
-            ]);
-            print!("{}", doc.to_pretty());
+            ];
+            if let Some(run) = &verified_run {
+                members.push((
+                    "verified",
+                    Value::object(vec![
+                        ("backend", Value::String(backend.id().to_string())),
+                        ("giallar_seconds", Value::Float(run.giallar_seconds)),
+                        ("overhead", Value::Float(run.overhead)),
+                        ("output_identical", Value::Bool(true)),
+                        ("pipeline_passes", Value::Int(run.passes_verified as i64)),
+                        ("subgoals", Value::Int(run.subgoals as i64)),
+                        ("verify_seconds", Value::Float(run.verify_seconds)),
+                    ]),
+                ));
+            }
+            print!("{}", Value::object(members).to_pretty());
         }
     }
     Ok(())

@@ -45,6 +45,23 @@ pub fn parse_count(value: &str, flag: &str) -> Result<usize, CmdError> {
     value.parse::<usize>().map_err(|_| CmdError::Usage(format!("{flag}: invalid count `{value}`")))
 }
 
+/// Pops and parses the value of a `--backend` flag (shared by `verify` and
+/// `compile --verified`).
+pub fn parse_backend(
+    args: &[String],
+    index: &mut usize,
+) -> Result<giallar_core::backend::BackendSelection, CmdError> {
+    use giallar_core::backend::BackendSelection;
+    let name = value_of(args, index, "--backend")?;
+    BackendSelection::parse(&name).ok_or_else(|| {
+        let known: Vec<&str> = BackendSelection::ALL.iter().map(|s| s.id()).collect();
+        CmdError::Usage(format!(
+            "--backend: unknown backend `{name}`; known backends: {}",
+            known.join(", ")
+        ))
+    })
+}
+
 const USAGE: &str =
     "giallar — push-button verification for the Qiskit compiler (PLDI 2022 reproduction)
 
@@ -53,21 +70,29 @@ USAGE:
 
 SUBCOMMANDS:
     verify     verify the 44-pass registry (all passes or --pass <name>)
-        --pass <name>          verify a single pass
+        --pass <name>          verify a single pass (typos get suggestions)
         --format <fmt>         table (default) | markdown | json
         --jobs <n>             worker threads for obligation discharge
+        --backend <name>       solver backend routing: default | reference
+                               (reference = naive normalizer, for
+                               differential cross-checks)
         --cache <file>         incremental verification cache (JSON; created
-                               when missing, re-discharges only passes whose
-                               obligation fingerprint changed)
+                               when missing, re-discharges only obligations
+                               whose fingerprint changed)
         --deterministic        omit machine-dependent timing from the output
         --expect-passes <n>    fail unless exactly n passes were verified
-        --min-cache-hits <n>   fail unless the cache answered >= n passes
+        --min-cache-hits <n>   fail unless the cache answered >= n
+                               obligations
     compile    compile an OpenQASM file or a named QASMBench circuit
         <input>                path to a .qasm file, or a circuit name
                                (e.g. qft_16; see --list)
         --device <dev>         falcon27 (default) | line:<n> | grid:<r>x<c>
         --seed <n>             routing seed (default 7)
         --format <fmt>         table (default) | json
+        --verified             also run the wrapped (Giallar) pipeline,
+                               print the overhead inline, and re-verify the
+                               scheduled passes via the backend registry
+        --backend <name>       backend for --verified re-verification
         --list                 list the available named circuits
     bench      regenerate or drift-check the committed benchmark artifacts
         --out <dir>            output directory (default: .)

@@ -1,11 +1,13 @@
-//! `giallar verify` — registry verification with optional incremental cache.
+//! `giallar verify` — registry verification with optional incremental cache
+//! and selectable solver backend.
 
 use std::path::PathBuf;
 
+use giallar_core::backend::BackendSelection;
 use giallar_core::cache::VerdictCache;
 use giallar_core::json::Value;
 use giallar_core::registry::{verified_passes, VerifiedPass};
-use giallar_core::verifier::{render_table2, verify_passes_cached, PassReport};
+use giallar_core::verifier::{render_table2, verify_passes_cached_with, PassReport};
 
 use crate::{parse_count, value_of, CmdError, CmdResult};
 
@@ -23,6 +25,7 @@ struct Options {
     deterministic: bool,
     expect_passes: Option<usize>,
     min_cache_hits: Option<usize>,
+    backend: BackendSelection,
 }
 
 fn parse_options(args: &[String]) -> Result<Options, CmdError> {
@@ -34,6 +37,7 @@ fn parse_options(args: &[String]) -> Result<Options, CmdError> {
         deterministic: false,
         expect_passes: None,
         min_cache_hits: None,
+        backend: BackendSelection::Default,
     };
     let mut i = 0;
     while i < args.len() {
@@ -72,11 +76,74 @@ fn parse_options(args: &[String]) -> Result<Options, CmdError> {
                     "--min-cache-hits",
                 )?)
             }
+            "--backend" => options.backend = crate::parse_backend(args, &mut i)?,
             other => return Err(CmdError::Usage(format!("verify: unknown option `{other}`"))),
         }
         i += 1;
     }
     Ok(options)
+}
+
+/// Full Levenshtein distance; [`near_miss_passes`] applies the suggestion
+/// threshold on top (pass names are short, so the uncapped scan is cheap).
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut previous: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut current = vec![i + 1];
+        for (j, &cb) in b.iter().enumerate() {
+            let substitution = previous[j] + usize::from(ca != cb);
+            current.push(substitution.min(previous[j + 1] + 1).min(current[j] + 1));
+        }
+        previous = current;
+    }
+    previous[b.len()]
+}
+
+/// Near-miss candidates for a mistyped `--pass` value: case-insensitive
+/// matches, substring matches, and names within a small edit distance,
+/// closest first.
+fn near_miss_passes<'a>(typo: &str, known: &[&'a str]) -> Vec<&'a str> {
+    let lower = typo.to_lowercase();
+    let mut scored: Vec<(usize, &str)> = known
+        .iter()
+        .filter_map(|&name| {
+            let name_lower = name.to_lowercase();
+            let distance = if name_lower == lower {
+                0
+            } else if name_lower.contains(&lower) || lower.contains(&name_lower) {
+                1
+            } else {
+                edit_distance(&name_lower, &lower)
+            };
+            // A third of the name wrong (at least 2 edits) is no longer a
+            // near miss.
+            (distance <= 2.max(name.len() / 3)).then_some((distance, name))
+        })
+        .collect();
+    scored.sort();
+    scored.into_iter().take(5).map(|(_, name)| name).collect()
+}
+
+/// The error for a `--pass` filter that matches nothing: suggest near
+/// misses when there are any, otherwise list every known pass.
+fn unknown_pass_error(typo: &str) -> CmdError {
+    let passes = verified_passes();
+    let known: Vec<&str> = passes.iter().map(|p| p.name).collect();
+    let near = near_miss_passes(typo, &known);
+    if near.is_empty() {
+        CmdError::Usage(format!(
+            "verify: unknown pass `{typo}`; known passes: {}",
+            known.join(", ")
+        ))
+    } else {
+        CmdError::Usage(format!(
+            "verify: unknown pass `{typo}`; did you mean {}? (misspelled filters verify \
+             nothing, so they are an error)",
+            near.iter().map(|n| format!("`{n}`")).collect::<Vec<_>>().join(", ")
+        ))
+    }
 }
 
 /// Runs `giallar verify`.
@@ -93,29 +160,21 @@ pub fn run(args: &[String]) -> CmdResult {
         .filter(|p| options.pass_filter.as_deref().is_none_or(|f| p.name == f))
         .collect();
     if passes.is_empty() {
-        let known: Vec<&str> = verified_passes().iter().map(|p| p.name).collect();
-        return Err(CmdError::Usage(format!(
-            "verify: unknown pass `{}`; known passes: {}",
-            options.pass_filter.unwrap_or_default(),
-            known.join(", ")
-        )));
+        return Err(unknown_pass_error(options.pass_filter.as_deref().unwrap_or_default()));
     }
 
     let mut cache = match &options.cache_path {
-        Some(path) => match VerdictCache::load(path) {
-            Ok(cache) => cache,
-            Err(error) => {
-                eprintln!(
-                    "warning: ignoring unreadable cache {} ({error}); starting empty",
-                    path.display()
-                );
-                VerdictCache::new()
+        Some(path) => {
+            let (cache, warning) = VerdictCache::load_lenient(path);
+            if let Some(warning) = warning {
+                eprintln!("warning: {warning}");
             }
-        },
+            cache
+        }
         None => VerdictCache::new(),
     };
 
-    let reports = verify_passes_cached(&passes, &mut cache);
+    let reports = verify_passes_cached_with(&passes, &mut cache, options.backend);
 
     // The report comes first, and a failure to persist the cache is a
     // warning, not a failed verification: the verdicts are already in hand,
@@ -124,13 +183,29 @@ pub fn run(args: &[String]) -> CmdResult {
     print!("{}", render(&reports, &options));
     if let Some(path) = &options.cache_path {
         match cache.save(path) {
-            Ok(()) => eprintln!(
-                "cache {}: {} hits, {} misses ({} entries stored)",
-                path.display(),
-                cache.hits(),
-                cache.misses(),
-                cache.len()
-            ),
+            Ok(()) => {
+                eprintln!(
+                    "cache {}: {} obligation hits, {} misses across {} passes \
+                     ({} entries stored, backend {})",
+                    path.display(),
+                    cache.hits(),
+                    cache.misses(),
+                    cache.pass_stats().len(),
+                    cache.len(),
+                    options.backend
+                );
+                // Per-pass stats: name the passes that did real solver work;
+                // fully warm passes are only summarized.
+                for stats in cache.pass_stats().iter().filter(|s| s.misses > 0) {
+                    eprintln!(
+                        "cache {}: {}: {} hits, {} misses (re-discharged)",
+                        path.display(),
+                        stats.pass,
+                        stats.hits,
+                        stats.misses
+                    );
+                }
+            }
             Err(error) => {
                 eprintln!("warning: could not save cache {}: {error}", path.display())
             }
@@ -158,8 +233,8 @@ pub fn run(args: &[String]) -> CmdResult {
     if let Some(floor) = options.min_cache_hits {
         if cache.hits() < floor {
             return Err(CmdError::Failed(format!(
-                "cache hits below floor: {} < {floor} (cache invalidation bug, or a cold cache \
-                 where a warm one was expected)",
+                "cache hits below floor: {} < {floor} obligations (cache invalidation bug, or \
+                 a cold cache where a warm one was expected)",
                 cache.hits()
             )));
         }
@@ -192,8 +267,9 @@ fn render(reports: &[PassReport], options: &Options) -> String {
                 render_table2(reports)
             };
             out.push_str(&format!(
-                "\nverified {verified} / {} passes (rule library {})\n",
+                "\nverified {verified} / {} passes (backend {}, rule library {})\n",
                 reports.len(),
+                options.backend,
                 qc_symbolic::rule_library_fingerprint()
             ));
             out
@@ -229,7 +305,8 @@ fn render(reports: &[PassReport], options: &Options) -> String {
             out
         }
         Format::Json => Value::object(vec![
-            ("schema", Value::String("giallar-verify/v1".to_string())),
+            ("schema", Value::String("giallar-verify/v2".to_string())),
+            ("backend", Value::String(options.backend.id().to_string())),
             (
                 "rule_library_fingerprint",
                 Value::String(qc_symbolic::rule_library_fingerprint().to_hex()),
@@ -245,5 +322,31 @@ fn render(reports: &[PassReport], options: &Options) -> String {
             ),
         ])
         .to_pretty(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_misses_rank_close_names_first() {
+        let known = ["CXCancellation", "CheckMap", "CheckCXDirection", "LookaheadSwap"];
+        let near = near_miss_passes("CXCancelation", &known);
+        assert_eq!(near.first(), Some(&"CXCancellation"));
+        // Case-insensitive exact match wins outright.
+        assert_eq!(near_miss_passes("checkmap", &known).first(), Some(&"CheckMap"));
+        // Substrings are near misses.
+        assert!(near_miss_passes("Lookahead", &known).contains(&"LookaheadSwap"));
+        // Garbage matches nothing.
+        assert!(near_miss_passes("zzzzzzzz", &known).is_empty());
+    }
+
+    #[test]
+    fn edit_distance_is_symmetric_and_small_for_typos() {
+        assert_eq!(edit_distance("CheckMap", "CheckMap"), 0);
+        assert_eq!(edit_distance("CheckMap", "ChekMap"), 1);
+        assert_eq!(edit_distance("ChekMap", "CheckMap"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
     }
 }

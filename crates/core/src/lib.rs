@@ -30,10 +30,16 @@
 //! * [`case_studies`] — the three bugs of §7 (conditioned 1-qubit merges,
 //!   non-transitive commutation groups, non-terminating lookahead routing),
 //!   detected automatically by the verifier.
-//! * [`cache`] — the incremental verification cache: per-pass verdicts keyed
-//!   by a stable fingerprint of the serialized obligations plus the
-//!   rewrite-rule library, persisted as JSON, so re-verification discharges
-//!   only what changed ([`verifier::verify_all_passes_cached`]).
+//! * [`backend`] — the solver-backend seam: a [`backend::SolverBackend`]
+//!   trait with capability descriptors, concrete backends (compiled
+//!   rewriting, arithmetic, trivial, and a naive reference backend for
+//!   differential runs), and a [`backend::BackendRegistry`] that routes each
+//!   goal class to the backend selected by [`backend::BackendSelection`].
+//! * [`cache`] — the incremental verification cache: per-**obligation**
+//!   verdicts keyed by a stable fingerprint of the obligation's canonical
+//!   form, the rewrite-rule library, and the discharging backend id,
+//!   persisted as JSON, so re-verification discharges only the obligations
+//!   that changed ([`verifier::verify_all_passes_cached`]).
 //! * [`json`] / [`serialize`] — a dependency-free JSON document model and
 //!   the obligation/report encodings built on it (the vendored `serde` is a
 //!   no-op shim).
@@ -53,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cache;
 pub mod case_studies;
 pub mod json;
@@ -64,10 +71,14 @@ pub mod templates;
 pub mod verifier;
 pub mod wrapper;
 
-pub use cache::{pass_fingerprint, CacheEntry, VerdictCache, CACHE_FORMAT_VERSION};
+pub use backend::{BackendDescriptor, BackendRegistry, BackendSelection, GoalClass, SolverBackend};
+pub use cache::{
+    obligation_fingerprint, CachedVerdict, PassCacheStats, VerdictCache, CACHE_FORMAT_VERSION,
+};
 pub use obligation::{Goal, PassClass, ProofObligation};
 pub use registry::{verified_passes, VerifiedPass};
 pub use verifier::{
-    verify_all_passes, verify_all_passes_cached, verify_pass, verify_pass_cached, PassReport,
+    pass_register_width, verify_all_passes, verify_all_passes_cached, verify_all_passes_with,
+    verify_pass, verify_pass_cached, verify_pass_with, Discharger, PassReport,
 };
 pub use wrapper::{giallar_transpile, QiskitWrapper};

@@ -75,6 +75,24 @@ pub fn giallar_pass_manager(coupling: &CouplingMap, seed: u64) -> PassManager {
     pm
 }
 
+/// The registry names of the passes scheduled by [`giallar_pass_manager`]
+/// (deduplicated — the pipeline runs `Unroller` twice), used by
+/// `giallar compile --verified` to re-verify exactly the passes a
+/// compilation ran through.
+pub fn giallar_pipeline_pass_names(coupling: &CouplingMap, seed: u64) -> Vec<&'static str> {
+    let mut names = giallar_pass_manager(coupling, seed).pass_names();
+    let mut seen: Vec<&'static str> = Vec::new();
+    names.retain(|name| {
+        if seen.contains(name) {
+            false
+        } else {
+            seen.push(name);
+            true
+        }
+    });
+    names
+}
+
 /// Compiles a circuit with the verified (wrapped) pipeline.
 ///
 /// # Errors
@@ -122,6 +140,20 @@ mod tests {
             baseline.properties.get_bool("is_swap_mapped"),
             verified.properties.get_bool("is_swap_mapped")
         );
+    }
+
+    #[test]
+    fn pipeline_pass_names_are_registry_passes() {
+        let coupling = CouplingMap::line(5);
+        let names = giallar_pipeline_pass_names(&coupling, 7);
+        assert!(!names.is_empty());
+        let registry: Vec<&str> =
+            crate::registry::verified_passes().iter().map(|p| p.name).collect();
+        for name in &names {
+            assert!(registry.contains(name), "{name} is not a registry pass");
+        }
+        // The double-scheduled Unroller is reported once.
+        assert_eq!(names.iter().filter(|n| **n == "Unroller").count(), 1);
     }
 
     #[test]
