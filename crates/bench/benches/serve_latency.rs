@@ -1,0 +1,56 @@
+//! Serve-latency load test: registry-shaped request streams against a real
+//! `giallar serve` daemon on loopback TCP.
+//!
+//! Prints the scenario table (cold vs warm, pass sweep, concurrent
+//! clients), records the artifact with this machine's p50/p99 percentiles
+//! to `BENCH_serve_latency.json` at the workspace root, then drives the
+//! warm round-trip under the Criterion harness.
+//!
+//! Set `GIALLAR_MICROBENCH_SAMPLE=1` to run in sample mode (fewer
+//! requests; used by the CI `bench-microbench` job).
+
+use std::path::Path;
+
+use bench::{serve_latency_artifact_json, serve_latency_rows, serve_latency_text};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn sample_mode() -> bool {
+    std::env::var("GIALLAR_MICROBENCH_SAMPLE").is_ok_and(|v| v != "0")
+}
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let samples = if sample_mode() { 3 } else { 40 };
+    let rows = serve_latency_rows(samples);
+    println!("\n=== Serve latency (giallar-serve/v1 over loopback TCP) ===");
+    print!("{}", serve_latency_text(&rows));
+    // The committed artifact carries the deterministic scenario shapes plus
+    // this machine's percentiles; the CI drift gate compares only the
+    // deterministic core (see `bench::strip_timing`).
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve_latency.json");
+    match std::fs::write(&path, serve_latency_artifact_json(&rows, true)) {
+        Ok(()) => println!("recorded serve latency artifact to {}", path.display()),
+        Err(error) => println!("could not record {}: {error}", path.display()),
+    }
+
+    let mut group = c.benchmark_group("serve_latency");
+    if sample_mode() {
+        group.sample_size(2);
+        group.measurement_time(std::time::Duration::from_millis(200));
+        group.warm_up_time(std::time::Duration::from_millis(50));
+    } else {
+        group.sample_size(20);
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+    }
+    group.bench_function("scenarios", |b| {
+        b.iter(|| {
+            let rows = serve_latency_rows(1);
+            assert_eq!(rows.len(), 4);
+            rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_latency);
+criterion_main!(benches);

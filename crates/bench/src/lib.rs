@@ -6,6 +6,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod serve_latency;
+
+pub use serve_latency::{
+    serve_latency_artifact_json, serve_latency_rows, serve_latency_text, ServeLatencyRow,
+};
+
 use std::time::Instant;
 
 use giallar_core::backend::BackendSelection;

@@ -2,10 +2,11 @@
 //! artifacts.
 //!
 //! Emits `BENCH_table2_verification.json`,
-//! `BENCH_figure11_compilation.json`, and `BENCH_solver_microbench.json`
-//! through the same writers the Criterion harness uses
-//! (`bench::table2_artifact_json` / `bench::figure11_artifact_json` /
-//! `bench::solver_microbench_artifact_json`), so the committed artifacts and
+//! `BENCH_figure11_compilation.json`, `BENCH_solver_microbench.json`, and
+//! `BENCH_serve_latency.json` through the same writers the Criterion harness
+//! uses (`bench::table2_artifact_json` / `bench::figure11_artifact_json` /
+//! `bench::solver_microbench_artifact_json` /
+//! `bench::serve_latency_artifact_json`), so the committed artifacts and
 //! the bench harness cannot drift.  Output is deterministic by default —
 //! machine-dependent timing sections are added only with `--timings`.
 //!
@@ -19,7 +20,8 @@ use std::path::{Path, PathBuf};
 
 use bench::{
     figure11_artifact_json, figure11_rows, measure_verification_speedup,
-    solver_microbench_artifact_json, solver_microbench_rows, strip_timing, table2_reports,
+    serve_latency_artifact_json, serve_latency_rows, solver_microbench_artifact_json,
+    solver_microbench_rows, strip_timing, table2_reports,
 };
 use giallar_core::json;
 use qc_ir::CouplingMap;
@@ -72,10 +74,16 @@ pub fn run(args: &[String]) -> CmdResult {
     let micro_rows = solver_microbench_rows(microbench_iters(timings));
     let microbench = solver_microbench_artifact_json(&micro_rows, timings);
 
-    let artifacts: [(&str, &str); 3] = [
+    // Measured requests per serve scenario: a real load when recording
+    // timings, one round-trip each when only the structure is needed.
+    let serve_rows = serve_latency_rows(if timings { 40 } else { 1 });
+    let serve_latency = serve_latency_artifact_json(&serve_rows, timings);
+
+    let artifacts: [(&str, &str); 4] = [
         ("BENCH_table2_verification.json", table2.as_str()),
         ("BENCH_figure11_compilation.json", figure11.as_str()),
         ("BENCH_solver_microbench.json", microbench.as_str()),
+        ("BENCH_serve_latency.json", serve_latency.as_str()),
     ];
 
     if let Some(dir) = check_dir {
@@ -92,10 +100,12 @@ pub fn run(args: &[String]) -> CmdResult {
         println!("wrote {}", path.display());
     }
     println!(
-        "table2: {} passes, {verified} verified; figure11: {} circuits; microbench: {} workloads",
+        "table2: {} passes, {verified} verified; figure11: {} circuits; microbench: {} \
+         workloads; serve: {} scenarios",
         reports.len(),
         rows.len(),
-        micro_rows.len()
+        micro_rows.len(),
+        serve_rows.len()
     );
 
     if verified != reports.len() {

@@ -1,0 +1,268 @@
+//! `giallar client` — talk to a running `giallar serve` daemon.
+//!
+//! `client verify` reconstructs the served reports and renders them through
+//! the same code path as `giallar verify`, so at equal cache state the two
+//! commands print byte-identical output (the serve-smoke CI job `cmp`s
+//! them).
+
+use giallar_core::backend::BackendSelection;
+use giallar_core::json::Value;
+use giallar_core::registry::verified_passes;
+use giallar_core::verifier::PassReport;
+use giallar_serve::client::{Client, ClientError};
+use giallar_serve::protocol::DEFAULT_ADDR;
+
+use crate::verify::{render_reports, Format};
+use crate::{parse_count, value_of, CmdError, CmdResult};
+
+fn connect(spec: &str) -> Result<Client, CmdError> {
+    Client::connect(spec).map_err(|error| {
+        CmdError::Failed(format!(
+            "client: could not connect to {spec}: {error} (is `giallar serve` running?)"
+        ))
+    })
+}
+
+fn command_error(error: ClientError) -> CmdError {
+    match error {
+        ClientError::Server(message) => CmdError::Failed(message),
+        other => CmdError::Failed(format!("client: {other}")),
+    }
+}
+
+struct VerifyOptions {
+    passes: Vec<String>,
+    backend: BackendSelection,
+    format: Format,
+    deterministic: bool,
+    per_pass: bool,
+    expect_passes: Option<usize>,
+    min_cache_hits: Option<usize>,
+}
+
+fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, CmdError> {
+    let mut options = VerifyOptions {
+        passes: Vec::new(),
+        backend: BackendSelection::Default,
+        format: Format::Table,
+        deterministic: false,
+        per_pass: false,
+        expect_passes: None,
+        min_cache_hits: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--pass" => options.passes.push(value_of(args, &mut i, "--pass")?),
+            "--backend" => options.backend = crate::parse_backend(args, &mut i)?,
+            "--format" => options.format = Format::parse(&value_of(args, &mut i, "--format")?)?,
+            "--deterministic" => options.deterministic = true,
+            "--per-pass" => options.per_pass = true,
+            "--expect-passes" => {
+                options.expect_passes = Some(parse_count(
+                    &value_of(args, &mut i, "--expect-passes")?,
+                    "--expect-passes",
+                )?)
+            }
+            "--min-cache-hits" => {
+                options.min_cache_hits = Some(parse_count(
+                    &value_of(args, &mut i, "--min-cache-hits")?,
+                    "--min-cache-hits",
+                )?)
+            }
+            other => {
+                return Err(CmdError::Usage(format!("client verify: unknown option `{other}`")))
+            }
+        }
+        i += 1;
+    }
+    if options.per_pass && !options.passes.is_empty() {
+        return Err(CmdError::Usage(
+            "client verify: --per-pass replays the whole registry; drop --pass".to_string(),
+        ));
+    }
+    Ok(options)
+}
+
+/// Pulls `hits`, `misses`, and the decoded reports out of one `verify`
+/// result object.
+fn decode_verify(result: &Value) -> Result<(usize, usize, Vec<PassReport>), CmdError> {
+    let count = |key: &str| -> Result<usize, CmdError> {
+        result
+            .get(key)
+            .and_then(Value::as_int)
+            .and_then(|v| usize::try_from(v).ok())
+            .ok_or_else(|| CmdError::Failed(format!("client: response missing `{key}`")))
+    };
+    let reports = match result.get("reports") {
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(PassReport::from_json_value)
+            .collect::<Result<Vec<PassReport>, String>>()
+            .map_err(|error| CmdError::Failed(format!("client: {error}")))?,
+        _ => return Err(CmdError::Failed("client: response missing `reports`".to_string())),
+    };
+    Ok((count("hits")?, count("misses")?, reports))
+}
+
+fn run_verify(client: &mut Client, args: &[String]) -> CmdResult {
+    let options = parse_verify_options(args)?;
+    let mut hits = 0usize;
+    let mut misses = 0usize;
+    let mut reports: Vec<PassReport> = Vec::new();
+    if options.per_pass {
+        // Replay the registry one request per pass (the serve-smoke CI job
+        // uses this to exercise the warm path pass by pass).  The server
+        // walks each request in registry order, so concatenating preserves
+        // the order of a whole-registry run.
+        for pass in verified_passes() {
+            let result = client
+                .verify(Some(vec![pass.name.to_string()]), options.backend)
+                .map_err(command_error)?;
+            let (pass_hits, pass_misses, pass_reports) = decode_verify(&result)?;
+            hits += pass_hits;
+            misses += pass_misses;
+            reports.extend(pass_reports);
+        }
+    } else {
+        let passes = (!options.passes.is_empty()).then(|| options.passes.clone());
+        let result = client.verify(passes, options.backend).map_err(command_error)?;
+        (hits, misses, reports) = decode_verify(&result)?;
+    }
+
+    print!("{}", render_reports(&reports, &options.format, options.deterministic, options.backend));
+
+    let verified = reports.iter().filter(|r| r.verified).count();
+    if let Some(first) = reports.iter().find(|r| !r.verified) {
+        return Err(CmdError::Failed(format!(
+            "{} of {} passes failed verification; first: {} — {}",
+            reports.len() - verified,
+            reports.len(),
+            first.name,
+            first.failure.as_deref().unwrap_or("no counterexample recorded")
+        )));
+    }
+    if let Some(expected) = options.expect_passes {
+        if reports.len() != expected {
+            return Err(CmdError::Failed(format!(
+                "pass-count drift: expected {expected} verified passes, got {}",
+                reports.len()
+            )));
+        }
+    }
+    if let Some(floor) = options.min_cache_hits {
+        if hits < floor {
+            return Err(CmdError::Failed(format!(
+                "cache hits below floor: {hits} < {floor} obligations (server cache colder \
+                 than expected)"
+            )));
+        }
+    }
+    let _ = misses;
+    Ok(())
+}
+
+fn run_compile(client: &mut Client, args: &[String]) -> CmdResult {
+    let mut circuit: Option<String> = None;
+    let mut device = "falcon27".to_string();
+    let mut seed = 7u64;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--device" => device = value_of(args, &mut i, "--device")?,
+            "--seed" => seed = parse_count(&value_of(args, &mut i, "--seed")?, "--seed")? as u64,
+            other if !other.starts_with('-') && circuit.is_none() => {
+                circuit = Some(other.to_string())
+            }
+            other => {
+                return Err(CmdError::Usage(format!("client compile: unknown option `{other}`")))
+            }
+        }
+        i += 1;
+    }
+    let circuit =
+        circuit.ok_or_else(|| CmdError::Usage("client compile: missing circuit name".into()))?;
+    let result = client.compile(&circuit, &device, seed).map_err(command_error)?;
+    println!("{}", result.to_pretty());
+    Ok(())
+}
+
+/// Runs `giallar client`.  The first non-flag argument picks the operation;
+/// `--connect <spec>` (default `127.0.0.1:7411`, `unix:<path>` for Unix
+/// sockets) must come before it.
+pub fn run(args: &[String]) -> CmdResult {
+    let mut connect_spec = DEFAULT_ADDR.to_string();
+    let mut i = 0;
+    while i < args.len() && args[i].starts_with("--") {
+        match args[i].as_str() {
+            "--connect" => connect_spec = value_of(args, &mut i, "--connect")?,
+            other => return Err(CmdError::Usage(format!("client: unknown option `{other}`"))),
+        }
+        i += 1;
+    }
+    let Some(op) = args.get(i).map(String::as_str) else {
+        return Err(CmdError::Usage(
+            "client: missing operation (status | verify | compile | invalidate | compact | \
+             evict | shutdown)"
+                .to_string(),
+        ));
+    };
+    let rest = &args[i + 1..];
+    let mut client = connect(&connect_spec)?;
+    match op {
+        "verify" => run_verify(&mut client, rest),
+        "compile" => run_compile(&mut client, rest),
+        "status" => {
+            if let Some(extra) = rest.first() {
+                return Err(CmdError::Usage(format!("client status: unknown option `{extra}`")));
+            }
+            let result = client.status().map_err(command_error)?;
+            println!("{}", result.to_pretty());
+            Ok(())
+        }
+        "invalidate" => {
+            let mut pass: Option<String> = None;
+            let mut backend = BackendSelection::Default;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--backend" => backend = crate::parse_backend(rest, &mut i)?,
+                    other if !other.starts_with('-') && pass.is_none() => {
+                        pass = Some(other.to_string())
+                    }
+                    other => {
+                        return Err(CmdError::Usage(format!(
+                            "client invalidate: unknown option `{other}`"
+                        )))
+                    }
+                }
+                i += 1;
+            }
+            let pass =
+                pass.ok_or_else(|| CmdError::Usage("client invalidate: missing pass name".into()))?;
+            let result = client.invalidate(&pass, backend).map_err(command_error)?;
+            println!("{}", result.to_pretty());
+            Ok(())
+        }
+        "compact" => {
+            let retired: Vec<String> = rest.to_vec();
+            if let Some(flag) = retired.iter().find(|r| r.starts_with('-')) {
+                return Err(CmdError::Usage(format!("client compact: unknown option `{flag}`")));
+            }
+            let result = client.compact(retired).map_err(command_error)?;
+            println!("{}", result.to_pretty());
+            Ok(())
+        }
+        "evict" => {
+            let result = client.evict().map_err(command_error)?;
+            println!("{}", result.to_pretty());
+            Ok(())
+        }
+        "shutdown" => {
+            let result = client.shutdown().map_err(command_error)?;
+            println!("{}", result.to_pretty());
+            Ok(())
+        }
+        other => Err(CmdError::Usage(format!("client: unknown operation `{other}`"))),
+    }
+}

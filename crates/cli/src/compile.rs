@@ -19,37 +19,11 @@ enum Format {
     Json,
 }
 
-/// Parses a device spec: `falcon27`, `line:<n>`, or `grid:<r>x<c>`.
+/// Parses a device spec: `falcon27`, `line:<n>`, or `grid:<r>x<c>` (the
+/// grammar lives in [`CouplingMap::from_spec`], shared with the serve
+/// protocol's `compile` op).
 fn parse_device(spec: &str) -> Result<CouplingMap, CmdError> {
-    if spec == "falcon27" {
-        return Ok(CouplingMap::falcon27());
-    }
-    if let Some(n) = spec.strip_prefix("line:") {
-        let n: usize = n
-            .parse()
-            .map_err(|_| CmdError::Usage(format!("--device: bad line size in `{spec}`")))?;
-        if n == 0 {
-            return Err(CmdError::Usage("--device: line needs at least 1 qubit".to_string()));
-        }
-        return Ok(CouplingMap::line(n));
-    }
-    if let Some(dims) = spec.strip_prefix("grid:") {
-        if let Some((rows, cols)) = dims.split_once('x') {
-            let rows: usize = rows
-                .parse()
-                .map_err(|_| CmdError::Usage(format!("--device: bad grid rows in `{spec}`")))?;
-            let cols: usize = cols
-                .parse()
-                .map_err(|_| CmdError::Usage(format!("--device: bad grid cols in `{spec}`")))?;
-            if rows == 0 || cols == 0 {
-                return Err(CmdError::Usage("--device: grid dims must be positive".to_string()));
-            }
-            return Ok(CouplingMap::grid(rows, cols));
-        }
-    }
-    Err(CmdError::Usage(format!(
-        "--device: unknown device `{spec}` (expected falcon27, line:<n>, or grid:<r>x<c>)"
-    )))
+    CouplingMap::from_spec(spec).map_err(|error| CmdError::Usage(format!("--device: {error}")))
 }
 
 /// Loads the input circuit: a `.qasm` file path, or a named QASMBench

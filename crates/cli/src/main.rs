@@ -9,15 +9,24 @@
 //!   any unverified pass.
 //! * `giallar compile` — run the baseline transpiler on an OpenQASM file or
 //!   a named QASMBench circuit and print compilation stats.
-//! * `giallar bench` — emit the Table 2 / Figure 11 / solver-microbench
-//!   JSON artifacts (the committed `BENCH_*.json` files), or drift-check
-//!   them against a directory with `--check` (timing fields ignored).
+//! * `giallar bench` — emit the Table 2 / Figure 11 / solver-microbench /
+//!   serve-latency JSON artifacts (the committed `BENCH_*.json` files), or
+//!   drift-check them against a directory with `--check` (timing fields
+//!   ignored).
+//! * `giallar serve` — run the resident verification daemon: registry
+//!   obligations and solver state stay warm behind a socket, requests batch
+//!   by goal class, and verdicts live in a sharded LRU/TTL cache.
+//! * `giallar client` — talk to a running daemon; `client verify` renders
+//!   through the same code as `giallar verify`, so served output is
+//!   byte-identical at equal cache state.
 //!
 //! Exit codes: `0` success, `1` verification/compilation failure or a failed
 //! `--expect-passes` / `--min-cache-hits` assertion, `2` usage error.
 
 mod bench_cmd;
+mod client_cmd;
 mod compile;
+mod serve_cmd;
 mod verify;
 
 use std::process::ExitCode;
@@ -101,6 +110,35 @@ SUBCOMMANDS:
         --check <dir>          write nothing; compare regenerated artifacts
                                against the committed files in <dir>, ignoring
                                timing fields (nonzero exit on drift)
+    serve      run the resident verification daemon (giallar-serve/v1)
+        --listen <spec>        TCP address (default 127.0.0.1:7411) or
+                               unix:<path>; TCP port 0 picks a free port
+        --shards <n>           verdict cache shards (default 8)
+        --max-entries <n>      LRU capacity across shards (default unbounded)
+        --ttl <n>              evict entries idle for n request batches
+        --cache <file>         warm-start from this verify cache file and
+                               write it back on shutdown
+    client     send one operation to a running daemon
+        --connect <spec>       daemon endpoint (default 127.0.0.1:7411, or
+                               unix:<path>); must precede the operation
+        status                 print the resident census and shard stats
+        verify                 served verification; renders like `verify`
+            --pass <name>      verify one pass (repeatable)
+            --per-pass         replay the whole registry one request per pass
+            --backend <name>   solver backend routing: default | reference
+            --format <fmt>     table (default) | markdown | json
+            --deterministic    omit machine-dependent timing from the output
+            --expect-passes <n>  fail unless exactly n passes were verified
+            --min-cache-hits <n> fail unless the server cache answered >= n
+        compile <circuit>      compile a named QASMBench circuit server-side
+            --device <dev>     falcon27 (default) | line:<n> | grid:<r>x<c>
+            --seed <n>         routing seed (default 7)
+        invalidate <pass>      drop one pass's cached verdicts
+            --backend <name>   routing whose cache keys to drop
+        compact [backend ...]  drop entries from retired backends or a stale
+                               rule library
+        evict                  run one LRU/TTL eviction sweep now
+        shutdown               stop the daemon (it replies first)
 
 Exit codes: 0 success, 1 failure, 2 usage error.
 ";
@@ -111,6 +149,8 @@ fn main() -> ExitCode {
         Some("verify") => verify::run(&args[1..]),
         Some("compile") => compile::run(&args[1..]),
         Some("bench") => bench_cmd::run(&args[1..]),
+        Some("serve") => serve_cmd::run(&args[1..]),
+        Some("client") => client_cmd::run(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {
             print!("{USAGE}");
             return ExitCode::SUCCESS;

@@ -11,10 +11,24 @@ use giallar_core::verifier::{render_table2, verify_passes_cached_with, PassRepor
 
 use crate::{parse_count, value_of, CmdError, CmdResult};
 
-enum Format {
+/// Output format shared by `verify` and `client verify` (the served path
+/// renders through the same code so its output is bit-identical).
+pub(crate) enum Format {
     Table,
     Markdown,
     Json,
+}
+
+impl Format {
+    /// Parses a `--format` value.
+    pub(crate) fn parse(name: &str) -> Result<Format, CmdError> {
+        match name {
+            "table" => Ok(Format::Table),
+            "markdown" => Ok(Format::Markdown),
+            "json" => Ok(Format::Json),
+            other => Err(CmdError::Usage(format!("--format: unknown format `{other}`"))),
+        }
+    }
 }
 
 struct Options {
@@ -43,16 +57,7 @@ fn parse_options(args: &[String]) -> Result<Options, CmdError> {
     while i < args.len() {
         match args[i].as_str() {
             "--pass" => options.pass_filter = Some(value_of(args, &mut i, "--pass")?),
-            "--format" => {
-                options.format = match value_of(args, &mut i, "--format")?.as_str() {
-                    "table" => Format::Table,
-                    "markdown" => Format::Markdown,
-                    "json" => Format::Json,
-                    other => {
-                        return Err(CmdError::Usage(format!("--format: unknown format `{other}`")))
-                    }
-                }
-            }
+            "--format" => options.format = Format::parse(&value_of(args, &mut i, "--format")?)?,
             "--jobs" => {
                 let jobs = parse_count(&value_of(args, &mut i, "--jobs")?, "--jobs")?;
                 if jobs == 0 {
@@ -180,7 +185,7 @@ pub fn run(args: &[String]) -> CmdResult {
     // warning, not a failed verification: the verdicts are already in hand,
     // and exit code 1 must keep meaning "a pass did not verify" (a later
     // warm run gated on --min-cache-hits will still surface the cold cache).
-    print!("{}", render(&reports, &options));
+    print!("{}", render_reports(&reports, &options.format, options.deterministic, options.backend));
     if let Some(path) = &options.cache_path {
         match cache.save(path) {
             Ok(()) => {
@@ -242,11 +247,19 @@ pub fn run(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-fn render(reports: &[PassReport], options: &Options) -> String {
+/// Renders verification reports in the requested format.  `giallar verify`
+/// and `giallar client verify` both call this, which is what makes a served
+/// run's output byte-identical to a local one at equal verdicts.
+pub(crate) fn render_reports(
+    reports: &[PassReport],
+    format: &Format,
+    deterministic: bool,
+    backend: BackendSelection,
+) -> String {
     let verified = reports.iter().filter(|r| r.verified).count();
-    match options.format {
+    match format {
         Format::Table => {
-            let mut out = if options.deterministic {
+            let mut out = if deterministic {
                 // No machine-dependent columns: two runs with equal verdicts
                 // must render byte-identically.
                 let mut out = format!(
@@ -269,14 +282,14 @@ fn render(reports: &[PassReport], options: &Options) -> String {
             out.push_str(&format!(
                 "\nverified {verified} / {} passes (backend {}, rule library {})\n",
                 reports.len(),
-                options.backend,
+                backend,
                 qc_symbolic::rule_library_fingerprint()
             ));
             out
         }
         Format::Markdown => {
             let mut out = String::new();
-            if options.deterministic {
+            if deterministic {
                 out.push_str("| Pass | LOC | Subgoals | Verified |\n");
                 out.push_str("|---|---:|---:|---|\n");
             } else {
@@ -289,7 +302,7 @@ fn render(reports: &[PassReport], options: &Options) -> String {
                 } else {
                     format!("**NO** — {}", report.failure.as_deref().unwrap_or(""))
                 };
-                if options.deterministic {
+                if deterministic {
                     out.push_str(&format!(
                         "| {} | {} | {} | {} |\n",
                         report.name, report.pass_loc, report.subgoals, verdict
@@ -306,7 +319,7 @@ fn render(reports: &[PassReport], options: &Options) -> String {
         }
         Format::Json => Value::object(vec![
             ("schema", Value::String("giallar-verify/v2".to_string())),
-            ("backend", Value::String(options.backend.id().to_string())),
+            ("backend", Value::String(backend.id().to_string())),
             (
                 "rule_library_fingerprint",
                 Value::String(qc_symbolic::rule_library_fingerprint().to_hex()),
@@ -316,9 +329,7 @@ fn render(reports: &[PassReport], options: &Options) -> String {
             ("all_verified", Value::Bool(verified == reports.len())),
             (
                 "reports",
-                Value::Array(
-                    reports.iter().map(|r| r.to_json_value(!options.deterministic)).collect(),
-                ),
+                Value::Array(reports.iter().map(|r| r.to_json_value(!deterministic)).collect()),
             ),
         ])
         .to_pretty(),

@@ -223,15 +223,30 @@ impl VerdictCache {
         }
     }
 
-    /// Persists the cache to `path` (atomically: write-new then rename).
+    /// Persists the cache to `path` atomically: the JSON is written to a
+    /// temporary file *unique to this save* and renamed into place, so a
+    /// reader (or [`Self::load_lenient`]) can never observe a torn file.
+    ///
+    /// The temporary name folds in the process id and a per-process
+    /// counter.  A *fixed* temporary name (the obvious `cache.tmp`) is not
+    /// atomic under concurrency: with a daemon and a CLI run saving the
+    /// same path, one writer can truncate the shared temporary file while
+    /// the other is about to rename it, publishing a half-written cache.
+    /// Unique temporaries make every rename the rename of a fully written
+    /// file.
     ///
     /// # Errors
     ///
-    /// Propagates filesystem errors.
+    /// Propagates filesystem errors (the temporary file is removed on a
+    /// failed rename).
     pub fn save(&self, path: &Path) -> io::Result<()> {
-        let tmp = path.with_extension("tmp");
+        static SAVE_SEQUENCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let sequence = SAVE_SEQUENCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{}", std::process::id(), sequence));
         std::fs::write(&tmp, self.to_json())?;
-        std::fs::rename(&tmp, path)
+        std::fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     /// Parses a cache from its JSON form.  Entries recorded under a
@@ -368,6 +383,13 @@ impl VerdictCache {
         self.hits = 0;
         self.misses = 0;
         self.pass_stats.clear();
+    }
+
+    /// Iterates over the stored entries in fingerprint order (used by
+    /// [`crate::shard::ShardedVerdictCache::from_cache`] to warm-start the
+    /// resident service from a persisted file).
+    pub fn entries(&self) -> impl Iterator<Item = (Fingerprint, &CachedVerdict)> + '_ {
+        self.entries.iter().map(|(fingerprint, verdict)| (*fingerprint, verdict))
     }
 
     /// Number of stored entries.  Identical obligations appearing in

@@ -101,6 +101,48 @@ impl Value {
         out
     }
 
+    /// Serializes the value as single-line JSON (no newlines, `", "` and
+    /// `": "` separators elided to `,`/`:`), the framing used by the
+    /// line-delimited `giallar-serve/v1` wire protocol where one message
+    /// must occupy exactly one line.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(v) => out.push_str(&v.to_string()),
+            Value::Float(v) => out.push_str(&format_float(*v)),
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(members) => {
+                out.push('{');
+                for (i, (key, value)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, key);
+                    out.push(':');
+                    value.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Value::Null => out.push_str("null"),
@@ -452,6 +494,25 @@ mod tests {
         // Whole-valued floats keep their floatness through a round trip.
         assert_eq!(parse("3.0").unwrap(), Value::Float(3.0));
         assert_eq!(parse("3").unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn compact_form_is_single_line_and_round_trips() {
+        let doc = Value::object(vec![
+            ("schema", Value::String("giallar-serve/v1".to_string())),
+            ("note", Value::String("line\nbreak".to_string())),
+            ("n", Value::Int(2)),
+            ("t", Value::Float(0.5)),
+            ("items", Value::Array(vec![Value::Bool(true), Value::Null])),
+            ("empty", Value::Object(vec![])),
+        ]);
+        let line = doc.to_compact();
+        assert!(!line.contains('\n'), "compact JSON must fit one wire line: {line:?}");
+        assert_eq!(
+            line,
+            r#"{"schema":"giallar-serve/v1","note":"line\nbreak","n":2,"t":0.5,"items":[true,null],"empty":{}}"#
+        );
+        assert_eq!(parse(&line).unwrap(), doc);
     }
 
     #[test]

@@ -40,6 +40,11 @@
 //!   form, the rewrite-rule library, and the discharging backend id,
 //!   persisted as JSON, so re-verification discharges only the obligations
 //!   that changed ([`verifier::verify_all_passes_cached`]).
+//! * [`shard`] — the resident-service cache: [`shard::ShardedVerdictCache`]
+//!   spreads the obligation-grained entries across lock-sharded partitions
+//!   for concurrent serving, with LRU/TTL eviction, pinning for in-flight
+//!   requests, compaction of entries from retired backends or stale rule
+//!   libraries, and deterministic statistics folding.
 //! * [`json`] / [`serialize`] — a dependency-free JSON document model and
 //!   the obligation/report encodings built on it (the vendored `serde` is a
 //!   no-op shim).
@@ -67,6 +72,7 @@ pub mod library;
 pub mod obligation;
 pub mod registry;
 pub mod serialize;
+pub mod shard;
 pub mod templates;
 pub mod verifier;
 pub mod wrapper;
@@ -77,8 +83,10 @@ pub use cache::{
 };
 pub use obligation::{Goal, PassClass, ProofObligation};
 pub use registry::{verified_passes, VerifiedPass};
+pub use shard::{EvictionPolicy, FoldedStats, ShardStats, ShardedVerdictCache};
 pub use verifier::{
-    pass_register_width, verify_all_passes, verify_all_passes_cached, verify_all_passes_with,
-    verify_pass, verify_pass_cached, verify_pass_with, Discharger, PassReport,
+    fold_verdict_stream, obligation_fingerprints, pass_register_width, verify_all_passes,
+    verify_all_passes_cached, verify_all_passes_with, verify_pass, verify_pass_cached,
+    verify_pass_with, Discharger, PassReport, VerdictFold,
 };
 pub use wrapper::{giallar_transpile, QiskitWrapper};

@@ -193,6 +193,63 @@ fn fold_verdict(
     }
 }
 
+/// The pass-level outcome of folding an ordered verdict stream (see
+/// [`fold_verdict_stream`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerdictFold {
+    /// Whether every consumed verdict was [`Verdict::Proved`].
+    pub verified: bool,
+    /// The first failing subgoal's description plus counterexample (or
+    /// undecidedness reason), when verification fails.
+    pub failure: Option<String>,
+    /// How many verdicts were consumed before stopping: the full stream
+    /// when the pass verifies, or everything up to and including the first
+    /// failure.
+    pub consumed: usize,
+}
+
+/// Folds an ordered `(verdict, subgoal description)` stream into a
+/// pass-level outcome with the verifier's walk semantics: consumption stops
+/// at the first failing verdict, so items after a failure are never pulled
+/// from the iterator.
+///
+/// This is the exact fold [`verify_pass`] and the cached paths apply —
+/// exposed so the resident service (`giallar serve`) can replay it over
+/// verdicts resolved from its sharded cache and produce reports
+/// bit-identical to the CLI, including the failure text.  Side effects in
+/// the iterator (counting a hit, recording a fresh verdict) run only for
+/// obligations the walk actually reaches.
+///
+/// ```
+/// use giallar_core::verifier::fold_verdict_stream;
+/// use qc_symbolic::Verdict;
+///
+/// let verdicts = vec![
+///     (Verdict::Proved, "branch 0".to_string()),
+///     (Verdict::Refuted { explanation: "wire 1 flipped".to_string() }, "branch 1".to_string()),
+///     (Verdict::Proved, "never reached".to_string()),
+/// ];
+/// let fold = fold_verdict_stream(verdicts);
+/// assert!(!fold.verified);
+/// assert_eq!(fold.consumed, 2);
+/// assert_eq!(fold.failure.as_deref(), Some("branch 1: wire 1 flipped"));
+/// ```
+pub fn fold_verdict_stream<I>(stream: I) -> VerdictFold
+where
+    I: IntoIterator<Item = (Verdict, String)>,
+{
+    let mut verified = true;
+    let mut failure = None;
+    let mut consumed = 0;
+    for (verdict, description) in stream {
+        consumed += 1;
+        if !fold_verdict(verdict, &description, &mut verified, &mut failure) {
+            break;
+        }
+    }
+    VerdictFold { verified, failure, consumed }
+}
+
 /// Discharges a prepared obligation list and assembles the report.  Shared
 /// by the uncached and cached verification paths so that both produce
 /// identical reports (modulo timing) for the same obligations.
@@ -310,7 +367,7 @@ fn walk_pass_cached(
 /// obligation is keyed by its canonical form, the rule library, the id of
 /// the backend the selection routes its goal class to, and — for
 /// circuit-equivalence goals — the pass's discharge register width.
-fn obligation_fingerprints(
+pub fn obligation_fingerprints(
     obligations: &[ProofObligation],
     library: Fingerprint,
     selection: BackendSelection,

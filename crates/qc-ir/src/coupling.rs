@@ -295,6 +295,46 @@ impl CouplingMap {
         ];
         CouplingMap::from_edges(27, &edges).expect("falcon27 edges are valid")
     }
+
+    /// Parses a textual device spec: `falcon27`, `line:<n>`, or
+    /// `grid:<r>x<c>` — the format shared by `giallar compile --device` and
+    /// the `compile` op of the `giallar-serve/v1` protocol.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the malformed spec.
+    ///
+    /// ```
+    /// use qc_ir::CouplingMap;
+    ///
+    /// assert_eq!(CouplingMap::from_spec("line:5").unwrap().num_qubits(), 5);
+    /// assert_eq!(CouplingMap::from_spec("grid:2x3").unwrap().num_qubits(), 6);
+    /// assert_eq!(CouplingMap::from_spec("falcon27").unwrap().num_qubits(), 27);
+    /// assert!(CouplingMap::from_spec("torus:4").is_err());
+    /// ```
+    pub fn from_spec(spec: &str) -> std::result::Result<Self, String> {
+        if spec == "falcon27" {
+            return Ok(CouplingMap::falcon27());
+        }
+        if let Some(n) = spec.strip_prefix("line:") {
+            let n: usize = n.parse().map_err(|_| format!("bad line size in `{spec}`"))?;
+            if n == 0 {
+                return Err("line needs at least 1 qubit".to_string());
+            }
+            return Ok(CouplingMap::line(n));
+        }
+        if let Some(dims) = spec.strip_prefix("grid:") {
+            if let Some((rows, cols)) = dims.split_once('x') {
+                let rows: usize = rows.parse().map_err(|_| format!("bad grid rows in `{spec}`"))?;
+                let cols: usize = cols.parse().map_err(|_| format!("bad grid cols in `{spec}`"))?;
+                if rows == 0 || cols == 0 {
+                    return Err("grid dims must be positive".to_string());
+                }
+                return Ok(CouplingMap::grid(rows, cols));
+            }
+        }
+        Err(format!("unknown device `{spec}` (expected falcon27, line:<n>, or grid:<r>x<c>)"))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,166 @@
+//! A blocking client for the `giallar-serve/v1` protocol.
+//!
+//! [`Client`] owns one connection and issues one request at a time,
+//! correlating each response by id.  The `giallar client` CLI subcommand is
+//! a thin wrapper over this type; tests and the serve-latency bench drive
+//! it directly.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+
+use giallar_core::backend::BackendSelection;
+use giallar_core::json::Value;
+
+use crate::net::{ByteStream, Endpoint};
+use crate::protocol::{Op, Request, Response};
+
+/// Why a request failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The transport failed (connect, read, or write).
+    Io(io::Error),
+    /// The peer sent something that is not a well-formed
+    /// `giallar-serve/v1` response for this request.
+    Protocol(String),
+    /// The server answered with an error response (e.g. an unknown pass).
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(error) => write!(f, "connection error: {error}"),
+            ClientError::Protocol(error) => write!(f, "protocol error: {error}"),
+            ClientError::Server(error) => write!(f, "{error}"),
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(error: io::Error) -> ClientError {
+        ClientError::Io(error)
+    }
+}
+
+/// A connected `giallar-serve/v1` client.
+pub struct Client {
+    reader: BufReader<ByteStream>,
+    next_id: i64,
+}
+
+impl Client {
+    /// Connects to an endpoint spec (`host:port`, or `unix:<path>`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(spec: &str) -> io::Result<Client> {
+        let stream = ByteStream::connect(&Endpoint::parse(spec))?;
+        Ok(Client { reader: BufReader::new(stream), next_id: 1 })
+    }
+
+    /// Issues one operation and blocks for its result object.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on transport failure, [`ClientError::Protocol`]
+    /// on a malformed or mismatched response, [`ClientError::Server`] when
+    /// the server answers with an error.
+    pub fn request(&mut self, op: Op) -> Result<Value, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut line = Request { id, op }.to_line();
+        line.push('\n');
+        let stream = self.reader.get_mut();
+        stream.write_all(line.as_bytes())?;
+        stream.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ClientError::Protocol("server closed the connection".to_string()));
+        }
+        let response = Response::from_line(&reply).map_err(ClientError::Protocol)?;
+        if response.id != id {
+            return Err(ClientError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                response.id
+            )));
+        }
+        response.result.map_err(ClientError::Server)
+    }
+
+    /// The `status` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn status(&mut self) -> Result<Value, ClientError> {
+        self.request(Op::Status)
+    }
+
+    /// The `verify` op: `passes: None` verifies the full registry.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn verify(
+        &mut self,
+        passes: Option<Vec<String>>,
+        backend: BackendSelection,
+    ) -> Result<Value, ClientError> {
+        self.request(Op::Verify { passes, backend })
+    }
+
+    /// The `compile` op for a named QASMBench circuit.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compile(
+        &mut self,
+        circuit: &str,
+        device: &str,
+        seed: u64,
+    ) -> Result<Value, ClientError> {
+        self.request(Op::Compile { circuit: circuit.to_string(), device: device.to_string(), seed })
+    }
+
+    /// The `invalidate` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn invalidate(
+        &mut self,
+        pass: &str,
+        backend: BackendSelection,
+    ) -> Result<Value, ClientError> {
+        self.request(Op::Invalidate { pass: pass.to_string(), backend })
+    }
+
+    /// The `compact` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn compact(&mut self, retired_backends: Vec<String>) -> Result<Value, ClientError> {
+        self.request(Op::Compact { retired_backends })
+    }
+
+    /// The `evict` op.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn evict(&mut self) -> Result<Value, ClientError> {
+        self.request(Op::Evict)
+    }
+
+    /// The `shutdown` op.  The server replies, then stops.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn shutdown(&mut self) -> Result<Value, ClientError> {
+        self.request(Op::Shutdown)
+    }
+}

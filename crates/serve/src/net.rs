@@ -1,0 +1,124 @@
+//! Transport plumbing shared by the server and the client: endpoint specs
+//! and a unified byte stream over TCP and Unix-domain sockets.
+//!
+//! An endpoint spec is either a TCP address (`127.0.0.1:7411`) or a
+//! Unix-socket path prefixed with `unix:` (`unix:/tmp/giallar.sock`):
+//!
+//! ```
+//! use giallar_serve::net::Endpoint;
+//!
+//! assert!(matches!(Endpoint::parse("127.0.0.1:7411"), Endpoint::Tcp(_)));
+//! assert!(matches!(Endpoint::parse("unix:/tmp/giallar.sock"), Endpoint::Unix(_)));
+//! assert_eq!(Endpoint::parse("unix:/tmp/g.sock").to_string(), "unix:/tmp/g.sock");
+//! ```
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Where a server listens or a client connects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A TCP address, e.g. `127.0.0.1:7411`.  Port `0` asks the OS for a
+    /// free port (the server reports the bound one).
+    Tcp(String),
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+}
+
+impl Endpoint {
+    /// Parses a spec: a `unix:` prefix selects a Unix socket, anything else
+    /// is a TCP address.
+    pub fn parse(spec: &str) -> Endpoint {
+        match spec.strip_prefix("unix:") {
+            Some(path) => Endpoint::Unix(PathBuf::from(path)),
+            None => Endpoint::Tcp(spec.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "{addr}"),
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+        }
+    }
+}
+
+/// A connected byte stream over either transport.
+#[derive(Debug)]
+pub enum ByteStream {
+    /// A TCP connection.
+    Tcp(TcpStream),
+    /// A Unix-domain socket connection.
+    Unix(UnixStream),
+}
+
+impl ByteStream {
+    /// Connects to an endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying connect error.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<ByteStream> {
+        match endpoint {
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(ByteStream::Tcp),
+            Endpoint::Unix(path) => UnixStream::connect(path).map(ByteStream::Unix),
+        }
+    }
+
+    /// Sets the read timeout (used by server connection threads to poll the
+    /// shutdown flag between reads).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying socket error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            ByteStream::Tcp(stream) => stream.set_read_timeout(timeout),
+            ByteStream::Unix(stream) => stream.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for ByteStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ByteStream::Tcp(stream) => stream.read(buf),
+            ByteStream::Unix(stream) => stream.read(buf),
+        }
+    }
+}
+
+impl Write for ByteStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ByteStream::Tcp(stream) => stream.write(buf),
+            ByteStream::Unix(stream) => stream.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ByteStream::Tcp(stream) => stream.flush(),
+            ByteStream::Unix(stream) => stream.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_round_trip_through_display() {
+        for spec in ["127.0.0.1:7411", "0.0.0.0:0", "unix:/tmp/giallar.sock"] {
+            assert_eq!(Endpoint::parse(spec).to_string(), spec);
+        }
+        assert_eq!(Endpoint::parse("unix:rel/path"), Endpoint::Unix(PathBuf::from("rel/path")));
+    }
+}

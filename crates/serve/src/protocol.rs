@@ -1,0 +1,395 @@
+//! The `giallar-serve/v1` wire protocol.
+//!
+//! Messages are line-delimited JSON: every request and every response is one
+//! compact JSON object ([`giallar_core::json::Value::to_compact`]) followed
+//! by a single `\n`.  Both directions carry a `schema` member pinned to
+//! [`SCHEMA`] so either side can reject a peer speaking a different version,
+//! and an `id` chosen by the client and echoed verbatim by the server.
+//!
+//! Requests:
+//!
+//! ```json
+//! {"schema":"giallar-serve/v1","id":1,"op":"status"}
+//! {"schema":"giallar-serve/v1","id":2,"op":"verify","backend":"default"}
+//! {"schema":"giallar-serve/v1","id":3,"op":"verify","passes":["CXCancellation"],"backend":"default"}
+//! {"schema":"giallar-serve/v1","id":4,"op":"compile","circuit":"qft_16","device":"falcon27","seed":7}
+//! {"schema":"giallar-serve/v1","id":5,"op":"invalidate","pass":"CXCancellation","backend":"default"}
+//! {"schema":"giallar-serve/v1","id":6,"op":"compact","retired_backends":["reference"]}
+//! {"schema":"giallar-serve/v1","id":7,"op":"evict"}
+//! {"schema":"giallar-serve/v1","id":8,"op":"shutdown"}
+//! ```
+//!
+//! Responses:
+//!
+//! ```json
+//! {"schema":"giallar-serve/v1","id":2,"ok":true,"result":{"reports":[],"hits":104,"misses":0}}
+//! {"schema":"giallar-serve/v1","id":3,"ok":false,"error":"verify: unknown pass `CXCancelation`"}
+//! ```
+//!
+//! See `docs/ARCHITECTURE.md` for the full schema of each op's `result`.
+//!
+//! # Example
+//!
+//! ```
+//! use giallar_core::backend::BackendSelection;
+//! use giallar_serve::protocol::{Op, Request, Response};
+//!
+//! let request = Request {
+//!     id: 3,
+//!     op: Op::Verify {
+//!         passes: Some(vec!["CXCancellation".to_string()]),
+//!         backend: BackendSelection::Default,
+//!     },
+//! };
+//! let line = request.to_line();
+//! assert!(!line.contains('\n'));
+//! let back = Request::from_line(&line).unwrap();
+//! assert_eq!(back.id, 3);
+//!
+//! let response = Response::error(3, "verify: unknown pass `X`");
+//! let back = Response::from_line(&response.to_line()).unwrap();
+//! assert_eq!(back.result.unwrap_err(), "verify: unknown pass `X`");
+//! ```
+
+use giallar_core::backend::BackendSelection;
+use giallar_core::json::{parse, Value};
+
+/// The protocol version string carried by every message.
+pub const SCHEMA: &str = "giallar-serve/v1";
+
+/// The default TCP address `giallar serve` listens on (and `giallar client`
+/// connects to) when `--listen` / `--connect` is not given.
+pub const DEFAULT_ADDR: &str = "127.0.0.1:7411";
+
+/// One operation a client can ask of the server.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Report the resident state: registry size, cache census, folded
+    /// shard statistics.
+    Status,
+    /// Verify passes through the resident sharded cache.  `passes: None`
+    /// verifies the whole registry; otherwise only the named passes, in
+    /// registry order.
+    Verify {
+        /// Pass names to verify, or `None` for the full registry.
+        passes: Option<Vec<String>>,
+        /// Backend routing for the request.
+        backend: BackendSelection,
+    },
+    /// Compile a named QASMBench circuit with the baseline transpiler.
+    Compile {
+        /// QASMBench circuit name (e.g. `qft_16`).
+        circuit: String,
+        /// Device spec: `falcon27`, `line:<n>`, or `grid:<r>x<c>`.
+        device: String,
+        /// Routing seed.
+        seed: u64,
+    },
+    /// Drop one pass's cached verdicts so its next request re-discharges.
+    Invalidate {
+        /// The pass whose obligations to forget.
+        pass: String,
+        /// The backend routing whose cache keys to drop.
+        backend: BackendSelection,
+    },
+    /// Drop unpinned entries recorded under retired backends or a stale
+    /// rule library.
+    Compact {
+        /// Backend ids whose entries to retire (e.g. `reference`).
+        retired_backends: Vec<String>,
+    },
+    /// Run one LRU/TTL eviction sweep immediately.
+    Evict,
+    /// Stop the server (after replying).
+    Shutdown,
+}
+
+impl Op {
+    /// The op's wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Status => "status",
+            Op::Verify { .. } => "verify",
+            Op::Compile { .. } => "compile",
+            Op::Invalidate { .. } => "invalidate",
+            Op::Compact { .. } => "compact",
+            Op::Evict => "evict",
+            Op::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// A client request: an id (echoed in the response) plus the operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim by the server.
+    pub id: i64,
+    /// The requested operation.
+    pub op: Op,
+}
+
+impl Request {
+    /// Encodes the request as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let mut members = vec![
+            ("schema", Value::String(SCHEMA.to_string())),
+            ("id", Value::Int(self.id)),
+            ("op", Value::String(self.op.name().to_string())),
+        ];
+        match &self.op {
+            Op::Status | Op::Evict | Op::Shutdown => {}
+            Op::Verify { passes, backend } => {
+                if let Some(passes) = passes {
+                    members.push((
+                        "passes",
+                        Value::Array(passes.iter().map(|p| Value::String(p.clone())).collect()),
+                    ));
+                }
+                members.push(("backend", Value::String(backend.id().to_string())));
+            }
+            Op::Compile { circuit, device, seed } => {
+                members.push(("circuit", Value::String(circuit.clone())));
+                members.push(("device", Value::String(device.clone())));
+                members.push(("seed", Value::Int(*seed as i64)));
+            }
+            Op::Invalidate { pass, backend } => {
+                members.push(("pass", Value::String(pass.clone())));
+                members.push(("backend", Value::String(backend.id().to_string())));
+            }
+            Op::Compact { retired_backends } => {
+                members.push((
+                    "retired_backends",
+                    Value::Array(
+                        retired_backends.iter().map(|b| Value::String(b.clone())).collect(),
+                    ),
+                ));
+            }
+        }
+        Value::object(members)
+    }
+
+    /// Encodes the request as one wire line (compact JSON, no trailing
+    /// newline — the transport appends it).
+    pub fn to_line(&self) -> String {
+        self.to_value().to_compact()
+    }
+
+    /// Decodes a request from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed member
+    /// (including a schema mismatch).
+    pub fn from_value(value: &Value) -> Result<Request, String> {
+        check_schema(value)?;
+        let id = value.get("id").and_then(Value::as_int).ok_or("request: missing `id`")?;
+        let op = value.get("op").and_then(Value::as_str).ok_or("request: missing `op`")?;
+        let op = match op {
+            "status" => Op::Status,
+            "evict" => Op::Evict,
+            "shutdown" => Op::Shutdown,
+            "verify" => {
+                let passes = match value.get("passes") {
+                    None | Some(Value::Null) => None,
+                    Some(Value::Array(items)) => Some(
+                        items
+                            .iter()
+                            .map(|item| {
+                                item.as_str()
+                                    .map(str::to_string)
+                                    .ok_or("request: `passes` must hold strings".to_string())
+                            })
+                            .collect::<Result<Vec<String>, String>>()?,
+                    ),
+                    Some(_) => return Err("request: bad `passes`".to_string()),
+                };
+                Op::Verify { passes, backend: backend_of(value)? }
+            }
+            "compile" => Op::Compile {
+                circuit: string_member(value, "circuit")?,
+                device: string_member(value, "device")?,
+                seed: value
+                    .get("seed")
+                    .and_then(Value::as_int)
+                    .and_then(|v| u64::try_from(v).ok())
+                    .ok_or("request: missing `seed`")?,
+            },
+            "invalidate" => {
+                Op::Invalidate { pass: string_member(value, "pass")?, backend: backend_of(value)? }
+            }
+            "compact" => {
+                let retired = match value.get("retired_backends") {
+                    None | Some(Value::Null) => Vec::new(),
+                    Some(Value::Array(items)) => items
+                        .iter()
+                        .map(|item| {
+                            item.as_str()
+                                .map(str::to_string)
+                                .ok_or("request: `retired_backends` must hold strings".to_string())
+                        })
+                        .collect::<Result<Vec<String>, String>>()?,
+                    Some(_) => return Err("request: bad `retired_backends`".to_string()),
+                };
+                Op::Compact { retired_backends: retired }
+            }
+            other => return Err(format!("request: unknown op `{other}`")),
+        };
+        Ok(Request { id, op })
+    }
+
+    /// Decodes a request from one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse or schema error description.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        Request::from_value(&parse(line.trim_end()).map_err(|e| format!("request: {e}"))?)
+    }
+}
+
+/// A server response: the echoed request id plus either the op's result
+/// object or an error message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The id of the request this answers.
+    pub id: i64,
+    /// The op's result on success, or the error description.
+    pub result: Result<Value, String>,
+}
+
+impl Response {
+    /// A success response carrying `result`.
+    pub fn ok(id: i64, result: Value) -> Response {
+        Response { id, result: Ok(result) }
+    }
+
+    /// An error response carrying a message.
+    pub fn error(id: i64, message: impl Into<String>) -> Response {
+        Response { id, result: Err(message.into()) }
+    }
+
+    /// Encodes the response as a JSON value.
+    pub fn to_value(&self) -> Value {
+        let mut members = vec![
+            ("schema", Value::String(SCHEMA.to_string())),
+            ("id", Value::Int(self.id)),
+            ("ok", Value::Bool(self.result.is_ok())),
+        ];
+        match &self.result {
+            Ok(result) => members.push(("result", result.clone())),
+            Err(message) => members.push(("error", Value::String(message.clone()))),
+        }
+        Value::object(members)
+    }
+
+    /// Encodes the response as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        self.to_value().to_compact()
+    }
+
+    /// Decodes a response from a JSON value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed member.
+    pub fn from_value(value: &Value) -> Result<Response, String> {
+        check_schema(value)?;
+        let id = value.get("id").and_then(Value::as_int).ok_or("response: missing `id`")?;
+        let ok = value.get("ok").and_then(Value::as_bool).ok_or("response: missing `ok`")?;
+        let result = if ok {
+            Ok(value.get("result").cloned().ok_or("response: missing `result`")?)
+        } else {
+            Err(value
+                .get("error")
+                .and_then(Value::as_str)
+                .ok_or("response: missing `error`")?
+                .to_string())
+        };
+        Ok(Response { id, result })
+    }
+
+    /// Decodes a response from one wire line.
+    ///
+    /// # Errors
+    ///
+    /// Returns a parse or schema error description.
+    pub fn from_line(line: &str) -> Result<Response, String> {
+        Response::from_value(&parse(line.trim_end()).map_err(|e| format!("response: {e}"))?)
+    }
+}
+
+fn check_schema(value: &Value) -> Result<(), String> {
+    match value.get("schema").and_then(Value::as_str) {
+        Some(SCHEMA) => Ok(()),
+        Some(other) => Err(format!("schema mismatch: expected `{SCHEMA}`, got `{other}`")),
+        None => Err(format!("missing `schema` (expected `{SCHEMA}`)")),
+    }
+}
+
+fn string_member(value: &Value, key: &str) -> Result<String, String> {
+    value
+        .get(key)
+        .and_then(Value::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("request: missing `{key}`"))
+}
+
+fn backend_of(value: &Value) -> Result<BackendSelection, String> {
+    match value.get("backend") {
+        None | Some(Value::Null) => Ok(BackendSelection::Default),
+        Some(Value::String(name)) => BackendSelection::parse(name)
+            .ok_or_else(|| format!("request: unknown backend `{name}`")),
+        Some(_) => Err("request: bad `backend`".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_op_round_trips_through_the_wire_encoding() {
+        let ops = vec![
+            Op::Status,
+            Op::Verify { passes: None, backend: BackendSelection::Default },
+            Op::Verify {
+                passes: Some(vec!["CXCancellation".to_string(), "CheckMap".to_string()]),
+                backend: BackendSelection::Reference,
+            },
+            Op::Compile { circuit: "qft_16".to_string(), device: "falcon27".to_string(), seed: 7 },
+            Op::Invalidate { pass: "CheckMap".to_string(), backend: BackendSelection::Default },
+            Op::Compact { retired_backends: vec!["reference".to_string()] },
+            Op::Compact { retired_backends: Vec::new() },
+            Op::Evict,
+            Op::Shutdown,
+        ];
+        for (id, op) in ops.into_iter().enumerate() {
+            let request = Request { id: id as i64, op };
+            let line = request.to_line();
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(Request::from_line(&line).unwrap(), request, "{line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_in_both_outcomes() {
+        let ok = Response::ok(9, Value::object(vec![("entries", Value::Int(41))]));
+        assert_eq!(Response::from_line(&ok.to_line()).unwrap(), ok);
+        let err = Response::error(9, "verify: unknown pass `X`");
+        assert_eq!(Response::from_line(&err.to_line()).unwrap(), err);
+    }
+
+    #[test]
+    fn missing_backend_defaults_and_unknown_fields_error() {
+        let request =
+            Request::from_line(r#"{"schema":"giallar-serve/v1","id":1,"op":"verify"}"#).unwrap();
+        assert_eq!(request.op, Op::Verify { passes: None, backend: BackendSelection::Default });
+        assert!(Request::from_line(r#"{"schema":"giallar-serve/v1","id":1,"op":"freeze"}"#)
+            .unwrap_err()
+            .contains("unknown op"));
+        assert!(Request::from_line(r#"{"schema":"giallar-serve/v0","id":1,"op":"status"}"#)
+            .unwrap_err()
+            .contains("schema mismatch"));
+        assert!(Request::from_line("not json").unwrap_err().contains("request:"));
+    }
+}

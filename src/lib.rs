@@ -10,6 +10,8 @@
 //! * [`core`] — the Giallar verifier: loop templates, verified library,
 //!   proof obligations, the 44 verified passes, the wrapper, case studies.
 //! * [`bench_circuits`] — QASMBench-style benchmark generators.
+//! * [`serve`] — the resident verification service: sharded verdict cache,
+//!   goal-class request batching, and the `giallar-serve/v1` wire protocol.
 //!
 //! # Example
 //!
@@ -24,6 +26,7 @@
 #![forbid(unsafe_code)]
 
 pub use giallar_core as core;
+pub use giallar_serve as serve;
 pub use qasmbench as bench_circuits;
 pub use qc_ir as ir;
 pub use qc_passes as passes;

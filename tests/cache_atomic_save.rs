@@ -1,0 +1,122 @@
+//! Regression test for concurrent cache persistence: several processes (here
+//! threads, which share the same rename-into-place path) repeatedly saving to
+//! one cache file must never let a reader observe a torn or half-written
+//! file.  Before `VerdictCache::save` used per-save unique temporary names,
+//! two concurrent savers shared one fixed `.tmp` file and could publish a
+//! truncated cache.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use giallar::core::cache::{CachedVerdict, VerdictCache};
+use giallar::smt::solver::Verdict;
+use giallar::smt::Fingerprint;
+
+fn scratch_path(name: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("giallar-{}-{}.json", name, std::process::id()));
+    path
+}
+
+/// Builds writer `k`'s cache: a recognisable, writer-specific shape so the
+/// reader can tell whether a loaded file is exactly one complete version.
+fn cache_for_writer(k: u64) -> VerdictCache {
+    let mut cache = VerdictCache::new();
+    for i in 0..(40 + k) {
+        cache.record(Fingerprint(k * 1_000 + i), CachedVerdict::from_verdict(&Verdict::Proved));
+    }
+    cache
+}
+
+/// Checks that `cache` is one writer's complete version (or the initial
+/// missing-file empty cache), returning the owning writer.
+fn complete_version_of(cache: &VerdictCache) -> Option<u64> {
+    if cache.is_empty() {
+        return None;
+    }
+    let owners: Vec<u64> = cache.entries().map(|(fingerprint, _)| fingerprint.0 / 1_000).collect();
+    let k = owners[0];
+    assert!(
+        owners.iter().all(|&owner| owner == k),
+        "loaded cache mixes entries from writers {owners:?} — torn file"
+    );
+    assert_eq!(
+        cache.len() as u64,
+        40 + k,
+        "loaded cache holds a partial version of writer {k}'s file"
+    );
+    Some(k)
+}
+
+#[test]
+fn concurrent_saves_never_tear_the_file_under_load_lenient() {
+    let path = scratch_path("atomic-save");
+    let _ = std::fs::remove_file(&path);
+    let writers = 4u64;
+    let rounds = 60u64;
+    let done = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let writer_handles: Vec<_> = (0..writers)
+            .map(|k| {
+                let path = path.clone();
+                let cache = cache_for_writer(k);
+                scope.spawn(move || {
+                    for _ in 0..rounds {
+                        cache.save(&path).expect("save");
+                    }
+                })
+            })
+            .collect();
+        let reader_path = path.clone();
+        let done = &done;
+        scope.spawn(move || {
+            let mut observed = 0u64;
+            while !done.load(Ordering::Relaxed) {
+                let (cache, warning) = VerdictCache::load_lenient(&reader_path);
+                assert_eq!(warning, None, "reader saw a torn cache file");
+                if complete_version_of(&cache).is_some() {
+                    observed += 1;
+                }
+            }
+            assert!(observed > 0, "reader never observed a saved cache");
+        });
+        for handle in writer_handles {
+            handle.join().expect("writer");
+        }
+        done.store(true, Ordering::Relaxed);
+    });
+
+    // After the dust settles the file holds exactly one complete version,
+    // and no temporary files are left behind.
+    let (cache, warning) = VerdictCache::load_lenient(&path);
+    assert_eq!(warning, None);
+    assert!(complete_version_of(&cache).is_some(), "final file is not a complete version");
+    let dir = path.parent().expect("tmp dir");
+    let stem = path.file_stem().and_then(|s| s.to_str()).expect("stem").to_string();
+    let leftovers: Vec<_> = std::fs::read_dir(dir)
+        .expect("read tmp dir")
+        .filter_map(Result::ok)
+        .filter(|entry| {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with(&stem) && name.contains(".tmp.")
+        })
+        .map(|entry| entry.path())
+        .collect();
+    assert!(leftovers.is_empty(), "stray temporaries left behind: {leftovers:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn save_then_load_round_trips_through_load_lenient() {
+    let path = scratch_path("save-roundtrip");
+    let _ = std::fs::remove_file(&path);
+    let cache = cache_for_writer(2);
+    cache.save(&path).expect("save");
+    let (loaded, warning) = VerdictCache::load_lenient(&path);
+    assert_eq!(warning, None);
+    assert_eq!(loaded.len(), cache.len());
+    assert_eq!(complete_version_of(&loaded), Some(2));
+    let _ = std::fs::remove_file(&path);
+}
