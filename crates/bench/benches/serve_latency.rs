@@ -21,7 +21,7 @@ fn sample_mode() -> bool {
 fn bench_serve_latency(c: &mut Criterion) {
     let samples = if sample_mode() { 3 } else { 40 };
     let rows = serve_latency_rows(samples);
-    println!("\n=== Serve latency (giallar-serve/v1 over loopback TCP) ===");
+    println!("\n=== Serve latency (giallar-serve/v2 over loopback TCP) ===");
     print!("{}", serve_latency_text(&rows));
     // The committed artifact carries the deterministic scenario shapes plus
     // this machine's percentiles; the CI drift gate compares only the

@@ -15,12 +15,13 @@ pub use serve_latency::{
 use std::time::Instant;
 
 use giallar_core::backend::BackendSelection;
+use giallar_core::certificate::certify_compilation;
 use giallar_core::json::Value;
 use giallar_core::verifier::{
     render_table2, reports_agree, verify_all_passes, verify_all_passes_parallel,
     verify_all_passes_with, PassReport,
 };
-use giallar_core::wrapper::{baseline_transpile, giallar_transpile};
+use giallar_core::wrapper::{baseline_transpile, giallar_pipeline_pass_names, giallar_transpile};
 use qc_ir::unitary::circuits_equivalent;
 use qc_ir::{Circuit, CouplingMap};
 use qc_symbolic::{check_equivalence, circuit_rewrite_rules, SymCircuit, SymbolicExecutor};
@@ -268,6 +269,160 @@ pub fn figure11_text(rows: &[Figure11Row]) -> String {
             row.qiskit_seconds,
             row.giallar_seconds,
             row.overhead() * 100.0
+        ));
+    }
+    out
+}
+
+/// One row of the certificate-emission overhead measurement
+/// (`BENCH_certify_overhead.json`).
+///
+/// `name`, `qubits`, `gates`, `wires`, `proved`, and `cache_key` are
+/// deterministic for a fixed device and seed — they pin the certificate's
+/// shape and identity, so the committed artifact catches a compilation,
+/// evidence, or cache-keying change.  The timing columns are
+/// machine-dependent and emitted only with timings enabled.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CertifyRow {
+    /// Benchmark circuit name.
+    pub name: String,
+    /// Number of qubits before compilation.
+    pub qubits: usize,
+    /// Number of gates before compilation.
+    pub gates: usize,
+    /// Wires covered by the certificate's equivalence evidence (the device
+    /// register width).
+    pub wires: usize,
+    /// Whether the compilation certified (it must, for every benchmark
+    /// circuit the baseline compiles).
+    pub proved: bool,
+    /// The certificate's verdict-cache key, hex-encoded (the same key the
+    /// serve daemon stores the verdict under).
+    pub cache_key: String,
+    /// Wall-clock seconds for the baseline compile alone.
+    pub compile_seconds: f64,
+    /// Wall-clock seconds for emitting the certificate on top of the
+    /// compile (pipeline re-verification + evidence discharge).
+    pub certify_seconds: f64,
+}
+
+impl CertifyRow {
+    /// Certificate-emission cost as a multiple of the baseline compile
+    /// (`2.0` = certifying costs twice the compile itself).
+    pub fn overhead(&self) -> f64 {
+        if self.compile_seconds <= 0.0 {
+            0.0
+        } else {
+            self.certify_seconds / self.compile_seconds
+        }
+    }
+}
+
+/// Certificate overhead: compile every QASMBench circuit that fits the
+/// device, then emit an equivalence certificate for each compilation and
+/// record both wall-clock times.  Mirrors [`figure11_rows`]' skip rules, so
+/// the two artifacts cover the same circuit set.
+pub fn certify_rows(device: &CouplingMap, device_spec: &str, seed: u64) -> Vec<CertifyRow> {
+    let pipeline: Vec<String> =
+        giallar_pipeline_pass_names(device, seed).into_iter().map(str::to_string).collect();
+    let mut rows = Vec::new();
+    for bench in qasmbench::benchmark_suite() {
+        if bench.circuit.num_qubits() > device.num_qubits() {
+            continue;
+        }
+        let start = Instant::now();
+        let Ok(result) = baseline_transpile(&bench.circuit, device, seed) else {
+            continue;
+        };
+        let compile_seconds = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let cert = certify_compilation(
+            &bench.name,
+            device_spec,
+            seed,
+            &bench.circuit,
+            &result,
+            &pipeline,
+            BackendSelection::Default,
+        );
+        let certify_seconds = start.elapsed().as_secs_f64();
+        rows.push(CertifyRow {
+            name: bench.name,
+            qubits: bench.circuit.num_qubits(),
+            gates: bench.circuit.size(),
+            wires: cert.evidence.len(),
+            proved: cert.verdict.is_proved(),
+            cache_key: cert.cache_key().to_hex(),
+            compile_seconds,
+            certify_seconds,
+        });
+    }
+    rows
+}
+
+/// The canonical certify-overhead artifact (`BENCH_certify_overhead.json`).
+///
+/// Certificate shapes, verdicts, and cache keys are deterministic for a
+/// fixed device and seed; the per-row timing columns (and the derived
+/// `overhead`) appear only with `include_timings`, so the structural
+/// content the CI drift gate compares is byte-stable across machines.
+pub fn certify_artifact_json(
+    device: &str,
+    seed: u64,
+    rows: &[CertifyRow],
+    include_timings: bool,
+) -> String {
+    let rows_json: Vec<Value> = rows
+        .iter()
+        .map(|row| {
+            let mut members = vec![
+                ("name", Value::String(row.name.clone())),
+                ("qubits", Value::Int(row.qubits as i64)),
+                ("gates", Value::Int(row.gates as i64)),
+                ("wires", Value::Int(row.wires as i64)),
+                ("proved", Value::Bool(row.proved)),
+                ("cache_key", Value::String(row.cache_key.clone())),
+            ];
+            if include_timings {
+                members.push(("compile_seconds", Value::Float(row.compile_seconds)));
+                members.push(("certify_seconds", Value::Float(row.certify_seconds)));
+                members.push(("overhead", Value::Float(row.overhead())));
+            }
+            Value::object(members)
+        })
+        .collect();
+    Value::object(vec![
+        ("benchmark", Value::String("certify_overhead".to_string())),
+        ("schema", Value::String("giallar-bench/v2".to_string())),
+        ("device", Value::String(device.to_string())),
+        ("seed", Value::Int(seed as i64)),
+        (
+            "rule_library_fingerprint",
+            Value::String(qc_symbolic::rule_library_fingerprint().to_hex()),
+        ),
+        ("circuits", Value::Int(rows.len() as i64)),
+        ("rows", Value::Array(rows_json)),
+    ])
+    .to_pretty()
+}
+
+/// Renders the certify-overhead measurement as a text table.
+pub fn certify_text(rows: &[CertifyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>7} {:>7} {:>7} {:>14} {:>14} {:>10}\n",
+        "circuit", "qubits", "gates", "wires", "compile (s)", "certify (s)", "overhead"
+    ));
+    for row in rows {
+        out.push_str(&format!(
+            "{:<16} {:>7} {:>7} {:>7} {:>14.4} {:>14.4} {:>9.1}x\n",
+            row.name,
+            row.qubits,
+            row.gates,
+            row.wires,
+            row.compile_seconds,
+            row.certify_seconds,
+            row.overhead()
         ));
     }
     out
@@ -729,6 +884,27 @@ mod tests {
         assert!(!rows.is_empty());
         let text = figure11_text(&rows);
         assert!(text.contains("overhead"));
+    }
+
+    #[test]
+    fn certify_artifact_is_deterministic_and_every_row_proves() {
+        let device = CouplingMap::grid(2, 3);
+        let rows = certify_rows(&device, "grid:2x3", 5);
+        assert!(!rows.is_empty());
+        assert!(rows.iter().all(|r| r.proved), "every compiled circuit must certify");
+        assert!(rows.iter().all(|r| r.wires == device.num_qubits()));
+        let first = certify_artifact_json("grid:2x3", 5, &rows, false);
+        let second =
+            certify_artifact_json("grid:2x3", 5, &certify_rows(&device, "grid:2x3", 5), false);
+        assert_eq!(first, second, "structural content must be byte-stable without timings");
+        assert!(!first.contains("_seconds"));
+        let doc = giallar_core::json::parse(&first).unwrap();
+        assert_eq!(doc.get("circuits").and_then(Value::as_int), Some(rows.len() as i64));
+        let timed = certify_artifact_json("grid:2x3", 5, &rows, true);
+        assert!(timed.contains("certify_seconds") && timed.contains("overhead"));
+        let timed = giallar_core::json::parse(&timed).unwrap();
+        assert_eq!(strip_timing(&timed), strip_timing(&doc));
+        assert!(certify_text(&rows).contains("overhead"));
     }
 
     #[test]

@@ -2,13 +2,15 @@
 //! artifacts.
 //!
 //! Emits `BENCH_table2_verification.json`,
-//! `BENCH_figure11_compilation.json`, `BENCH_solver_microbench.json`, and
-//! `BENCH_serve_latency.json` through the same writers the Criterion harness
-//! uses (`bench::table2_artifact_json` / `bench::figure11_artifact_json` /
+//! `BENCH_figure11_compilation.json`, `BENCH_solver_microbench.json`,
+//! `BENCH_serve_latency.json`, and `BENCH_certify_overhead.json` through
+//! the same writers the Criterion harness uses
+//! (`bench::table2_artifact_json` / `bench::figure11_artifact_json` /
 //! `bench::solver_microbench_artifact_json` /
-//! `bench::serve_latency_artifact_json`), so the committed artifacts and
-//! the bench harness cannot drift.  Output is deterministic by default —
-//! machine-dependent timing sections are added only with `--timings`.
+//! `bench::serve_latency_artifact_json` / `bench::certify_artifact_json`),
+//! so the committed artifacts and the bench harness cannot drift.  Output
+//! is deterministic by default — machine-dependent timing sections are
+//! added only with `--timings`.
 //!
 //! With `--check <dir>` nothing is written: the artifacts are regenerated in
 //! memory and compared structurally against the committed files in `<dir>`,
@@ -19,9 +21,9 @@
 use std::path::{Path, PathBuf};
 
 use bench::{
-    figure11_artifact_json, figure11_rows, measure_verification_speedup,
-    serve_latency_artifact_json, serve_latency_rows, solver_microbench_artifact_json,
-    solver_microbench_rows, strip_timing, table2_reports,
+    certify_artifact_json, certify_rows, figure11_artifact_json, figure11_rows,
+    measure_verification_speedup, serve_latency_artifact_json, serve_latency_rows,
+    solver_microbench_artifact_json, solver_microbench_rows, strip_timing, table2_reports,
 };
 use giallar_core::json;
 use qc_ir::CouplingMap;
@@ -79,11 +81,15 @@ pub fn run(args: &[String]) -> CmdResult {
     let serve_rows = serve_latency_rows(if timings { 40 } else { 1 });
     let serve_latency = serve_latency_artifact_json(&serve_rows, timings);
 
-    let artifacts: [(&str, &str); 4] = [
+    let certify = certify_rows(&device, "falcon27", seed);
+    let certify_overhead = certify_artifact_json("falcon27", seed, &certify, timings);
+
+    let artifacts: [(&str, &str); 5] = [
         ("BENCH_table2_verification.json", table2.as_str()),
         ("BENCH_figure11_compilation.json", figure11.as_str()),
         ("BENCH_solver_microbench.json", microbench.as_str()),
         ("BENCH_serve_latency.json", serve_latency.as_str()),
+        ("BENCH_certify_overhead.json", certify_overhead.as_str()),
     ];
 
     if let Some(dir) = check_dir {
@@ -101,11 +107,12 @@ pub fn run(args: &[String]) -> CmdResult {
     }
     println!(
         "table2: {} passes, {verified} verified; figure11: {} circuits; microbench: {} \
-         workloads; serve: {} scenarios",
+         workloads; serve: {} scenarios; certify: {} certificates",
         reports.len(),
         rows.len(),
         micro_rows.len(),
-        serve_rows.len()
+        serve_rows.len(),
+        certify.len()
     );
 
     if verified != reports.len() {

@@ -3,15 +3,21 @@
 //! `client verify` reconstructs the served reports and renders them through
 //! the same code path as `giallar verify`, so at equal cache state the two
 //! commands print byte-identical output (the serve-smoke CI job `cmp`s
-//! them).
+//! them).  `client compile` accepts the same flag grammar as `giallar
+//! compile` (both parse through [`crate::flags::CompileFlags`]); with
+//! `--certify <path>` it writes the daemon-emitted certificate, which is
+//! byte-identical to what a local `compile --certify` of the same input
+//! writes (the certify-smoke CI job `cmp`s them).
 
 use giallar_core::backend::BackendSelection;
+use giallar_core::certificate::EquivalenceCertificate;
 use giallar_core::json::Value;
 use giallar_core::registry::verified_passes;
 use giallar_core::verifier::PassReport;
 use giallar_serve::client::{Client, ClientError};
 use giallar_serve::protocol::DEFAULT_ADDR;
 
+use crate::flags::{list_circuits, parse_device, CompileFlags, OutputFormat};
 use crate::verify::{render_reports, Format};
 use crate::{parse_count, value_of, CmdError, CmdResult};
 
@@ -54,7 +60,7 @@ fn parse_verify_options(args: &[String]) -> Result<VerifyOptions, CmdError> {
     while i < args.len() {
         match args[i].as_str() {
             "--pass" => options.passes.push(value_of(args, &mut i, "--pass")?),
-            "--backend" => options.backend = crate::parse_backend(args, &mut i)?,
+            "--backend" => options.backend = crate::flags::parse_backend(args, &mut i)?,
             "--format" => options.format = Format::parse(&value_of(args, &mut i, "--format")?)?,
             "--deterministic" => options.deterministic = true,
             "--per-pass" => options.per_pass = true,
@@ -162,28 +168,132 @@ fn run_verify(client: &mut Client, args: &[String]) -> CmdResult {
     Ok(())
 }
 
-fn run_compile(client: &mut Client, args: &[String]) -> CmdResult {
-    let mut circuit: Option<String> = None;
-    let mut device = "falcon27".to_string();
-    let mut seed = 7u64;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--device" => device = value_of(args, &mut i, "--device")?,
-            "--seed" => seed = parse_count(&value_of(args, &mut i, "--seed")?, "--seed")? as u64,
-            other if !other.starts_with('-') && circuit.is_none() => {
-                circuit = Some(other.to_string())
-            }
-            other => {
-                return Err(CmdError::Usage(format!("client compile: unknown option `{other}`")))
-            }
+/// Pulls an integer member out of a served result object.
+fn int_member(value: &Value, key: &str) -> Result<i64, CmdError> {
+    value
+        .get(key)
+        .and_then(Value::as_int)
+        .ok_or_else(|| CmdError::Failed(format!("client: response missing `{key}`")))
+}
+
+/// Decodes one `(qubits, gates, depth)` shape object from a served
+/// `compile` result.
+fn shape_member(value: &Value, key: &str) -> Result<(i64, i64, i64), CmdError> {
+    let shape = value
+        .get(key)
+        .ok_or_else(|| CmdError::Failed(format!("client: response missing `{key}`")))?;
+    Ok((int_member(shape, "qubits")?, int_member(shape, "gates")?, int_member(shape, "depth")?))
+}
+
+/// `client compile --certify`: certify server-side, persist the daemon's
+/// certificate document byte-identically, and report the outcome.
+fn run_certify(
+    client: &mut Client,
+    circuit: &str,
+    device_spec: &str,
+    seed: u64,
+    backend: BackendSelection,
+    path: &str,
+    format: &OutputFormat,
+) -> CmdResult {
+    let result = client.certify(circuit, device_spec, seed, backend).map_err(command_error)?;
+    let document = result
+        .get("certificate")
+        .ok_or_else(|| CmdError::Failed("client: response missing `certificate`".to_string()))?;
+    // Write exactly what `giallar compile --certify` writes: the pretty
+    // printing of the certificate document (member order survives the wire
+    // round trip, so the files `cmp` equal).
+    std::fs::write(path, document.to_pretty())
+        .map_err(|error| CmdError::Failed(format!("writing {path}: {error}")))?;
+    let cert = EquivalenceCertificate::from_json(document)
+        .map_err(|error| CmdError::Failed(format!("client: malformed certificate: {error}")))?;
+    let cached = result.get("cached").and_then(Value::as_bool).unwrap_or(false);
+    match format {
+        OutputFormat::Table => {
+            println!("circuit:        {}", cert.circuit);
+            println!("device:         {} (seed {})", cert.device, cert.seed);
+            println!(
+                "certificate:    {path} ({}, {} wires, backend {})",
+                if cert.verdict.is_proved() { "proved" } else { "NOT PROVED" },
+                cert.evidence.len(),
+                cert.backend
+            );
+            println!("served verdict: {}", if cached { "cache hit" } else { "cache miss" });
         }
-        i += 1;
+        OutputFormat::Json => {
+            print!(
+                "{}",
+                Value::object(vec![
+                    ("schema", Value::String("giallar-client-certify/v1".to_string())),
+                    ("circuit", Value::String(cert.circuit.clone())),
+                    ("device", Value::String(cert.device.clone())),
+                    ("seed", Value::Int(cert.seed as i64)),
+                    (
+                        "certificate",
+                        Value::object(vec![
+                            ("path", Value::String(path.to_string())),
+                            ("proved", Value::Bool(cert.verdict.is_proved())),
+                            ("wires", Value::Int(cert.evidence.len() as i64)),
+                            ("backend", Value::String(cert.backend.clone())),
+                        ]),
+                    ),
+                    ("cached", Value::Bool(cached)),
+                ])
+                .to_pretty()
+            );
+        }
+    }
+    if !cert.verdict.is_proved() {
+        return Err(CmdError::Failed(format!(
+            "certificate written to {path} but the compilation did not certify: {:?}",
+            cert.verdict
+        )));
+    }
+    Ok(())
+}
+
+fn run_compile(client: &mut Client, args: &[String]) -> CmdResult {
+    let flags = CompileFlags::parse("client compile", args)?;
+    if flags.list {
+        list_circuits();
+        return Ok(());
+    }
+    let CompileFlags { input, device_spec, seed, format, verified, backend, certify, .. } = flags;
+    if verified {
+        return Err(CmdError::Usage(
+            "client compile: --verified runs the wrapped pipeline locally and is not a served \
+             op; use `giallar compile --verified`"
+                .to_string(),
+        ));
     }
     let circuit =
-        circuit.ok_or_else(|| CmdError::Usage("client compile: missing circuit name".into()))?;
-    let result = client.compile(&circuit, &device, seed).map_err(command_error)?;
-    println!("{}", result.to_pretty());
+        input.ok_or_else(|| CmdError::Usage("client compile: missing input circuit".into()))?;
+    if let Some(path) = &certify {
+        return run_certify(client, &circuit, &device_spec, seed, backend, path, &format);
+    }
+    let result = client.compile(&circuit, &device_spec, seed).map_err(command_error)?;
+    match format {
+        OutputFormat::Table => {
+            // Mirror the `giallar compile` table (the device qubit count is
+            // recomputed locally; the spec grammar is shared).
+            let device = parse_device(&device_spec)?;
+            let (in_q, in_g, in_d) = shape_member(&result, "input")?;
+            let (out_q, out_g, out_d) = shape_member(&result, "output")?;
+            println!("circuit:        {circuit}");
+            println!("device:         {device_spec} ({} qubits)", device.num_qubits());
+            println!("seed:           {seed}");
+            println!("input:          {in_q} qubits, {in_g} gates, depth {in_d}");
+            println!("output:         {out_q} qubits, {out_g} gates, depth {out_d}");
+            println!(
+                "swap mapped:    {}",
+                match result.get("swap_mapped").and_then(Value::as_bool) {
+                    Some(mapped) => mapped.to_string(),
+                    None => "unknown".to_string(),
+                }
+            );
+        }
+        OutputFormat::Json => println!("{}", result.to_pretty()),
+    }
     Ok(())
 }
 
@@ -226,7 +336,7 @@ pub fn run(args: &[String]) -> CmdResult {
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
-                    "--backend" => backend = crate::parse_backend(rest, &mut i)?,
+                    "--backend" => backend = crate::flags::parse_backend(rest, &mut i)?,
                     other if !other.starts_with('-') && pass.is_none() => {
                         pass = Some(other.to_string())
                     }

@@ -2,29 +2,20 @@
 //! compilation stats; with `--verified`, run the wrapped (Giallar) pipeline
 //! alongside the baseline, report the verification overhead inline, and
 //! re-verify the scheduled passes through the solver-backend registry.
+//! With `--certify <path>`, additionally emit a machine-checkable
+//! equivalence certificate that `giallar check-cert` re-validates.
 
 use std::path::Path;
 use std::time::Instant;
 
-use giallar_core::backend::BackendSelection;
+use giallar_core::certificate::certify_compilation;
 use giallar_core::json::Value;
 use giallar_core::verifier::verify_pass_with;
 use giallar_core::wrapper::{baseline_transpile, giallar_pipeline_pass_names, giallar_transpile};
-use qc_ir::{Circuit, CouplingMap};
+use qc_ir::Circuit;
 
-use crate::{value_of, CmdError, CmdResult};
-
-enum Format {
-    Table,
-    Json,
-}
-
-/// Parses a device spec: `falcon27`, `line:<n>`, or `grid:<r>x<c>` (the
-/// grammar lives in [`CouplingMap::from_spec`], shared with the serve
-/// protocol's `compile` op).
-fn parse_device(spec: &str) -> Result<CouplingMap, CmdError> {
-    CouplingMap::from_spec(spec).map_err(|error| CmdError::Usage(format!("--device: {error}")))
-}
+use crate::flags::{list_circuits, parse_device, CompileFlags, OutputFormat};
+use crate::{CmdError, CmdResult};
 
 /// Loads the input circuit: a `.qasm` file path, or a named QASMBench
 /// circuit from the built-in suite.
@@ -66,64 +57,21 @@ struct VerifiedRun {
 
 /// Runs `giallar compile`.
 pub fn run(args: &[String]) -> CmdResult {
-    let mut input: Option<String> = None;
-    let mut device_spec = "falcon27".to_string();
-    let mut seed = 7u64;
-    let mut format = Format::Table;
-    let mut verified_mode = false;
-    let mut backend: Option<BackendSelection> = None;
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--device" => device_spec = value_of(args, &mut i, "--device")?,
-            "--seed" => {
-                seed = value_of(args, &mut i, "--seed")?
-                    .parse()
-                    .map_err(|_| CmdError::Usage("--seed: invalid seed".to_string()))?
-            }
-            "--format" => {
-                format = match value_of(args, &mut i, "--format")?.as_str() {
-                    "table" => Format::Table,
-                    "json" => Format::Json,
-                    other => {
-                        return Err(CmdError::Usage(format!("--format: unknown format `{other}`")))
-                    }
-                }
-            }
-            "--verified" => verified_mode = true,
-            "--backend" => backend = Some(crate::parse_backend(args, &mut i)?),
-            "--list" => {
-                for bench in qasmbench::benchmark_suite() {
-                    println!(
-                        "{:<16} {:>3} qubits {:>5} gates",
-                        bench.name,
-                        bench.circuit.num_qubits(),
-                        bench.circuit.size()
-                    );
-                }
-                return Ok(());
-            }
-            flag if flag.starts_with("--") => {
-                return Err(CmdError::Usage(format!("compile: unknown option `{flag}`")))
-            }
-            positional => {
-                if input.is_some() {
-                    return Err(CmdError::Usage("compile: more than one input given".to_string()));
-                }
-                input = Some(positional.to_string());
-            }
-        }
-        i += 1;
+    let flags = CompileFlags::parse("compile", args)?;
+    if flags.list {
+        list_circuits();
+        return Ok(());
     }
-    if backend.is_some() && !verified_mode {
-        // Silently ignoring the flag would let a user believe a
-        // reference-backend verification ran when nothing did.
-        return Err(CmdError::Usage(
-            "compile: --backend selects the re-verification backend and requires --verified"
-                .to_string(),
-        ));
-    }
-    let backend = backend.unwrap_or_default();
+    let CompileFlags {
+        input,
+        device_spec,
+        seed,
+        format,
+        verified: verified_mode,
+        backend,
+        certify,
+        ..
+    } = flags;
     let input =
         input.ok_or_else(|| CmdError::Usage("compile: missing input circuit".to_string()))?;
     let (name, circuit) = load_circuit(&input)?;
@@ -183,8 +131,20 @@ pub fn run(args: &[String]) -> CmdResult {
         None
     };
 
+    let certificate = if let Some(path) = &certify {
+        let pipeline: Vec<String> =
+            giallar_pipeline_pass_names(&device, seed).into_iter().map(str::to_string).collect();
+        let cert =
+            certify_compilation(&name, &device_spec, seed, &circuit, &result, &pipeline, backend);
+        std::fs::write(path, cert.to_json().to_pretty())
+            .map_err(|error| CmdError::Failed(format!("writing {path}: {error}")))?;
+        Some((path.clone(), cert))
+    } else {
+        None
+    };
+
     match format {
-        Format::Table => {
+        OutputFormat::Table => {
             println!("circuit:        {name}");
             println!("device:         {device_spec} ({} qubits)", device.num_qubits());
             println!("seed:           {seed}");
@@ -219,8 +179,16 @@ pub fn run(args: &[String]) -> CmdResult {
                     run.verify_seconds * 1e3
                 );
             }
+            if let Some((path, cert)) = &certificate {
+                println!(
+                    "certificate:    {path} ({}, {} wires, backend {})",
+                    if cert.verdict.is_proved() { "proved" } else { "NOT PROVED" },
+                    cert.evidence.len(),
+                    cert.backend
+                );
+            }
         }
-        Format::Json => {
+        OutputFormat::Json => {
             let mut members = vec![
                 ("schema", Value::String("giallar-compile/v1".to_string())),
                 ("circuit", Value::String(name)),
@@ -259,7 +227,26 @@ pub fn run(args: &[String]) -> CmdResult {
                     ]),
                 ));
             }
+            if let Some((path, cert)) = &certificate {
+                members.push((
+                    "certificate",
+                    Value::object(vec![
+                        ("path", Value::String(path.clone())),
+                        ("proved", Value::Bool(cert.verdict.is_proved())),
+                        ("wires", Value::Int(cert.evidence.len() as i64)),
+                        ("backend", Value::String(cert.backend.clone())),
+                    ]),
+                ));
+            }
             print!("{}", Value::object(members).to_pretty());
+        }
+    }
+    if let Some((path, cert)) = &certificate {
+        if !cert.verdict.is_proved() {
+            return Err(CmdError::Failed(format!(
+                "certificate written to {path} but the compilation did not certify: {:?}",
+                cert.verdict
+            )));
         }
     }
     Ok(())

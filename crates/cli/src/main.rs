@@ -8,7 +8,10 @@
 //!   with `table`, `markdown`, or `json` output and a nonzero exit code on
 //!   any unverified pass.
 //! * `giallar compile` — run the baseline transpiler on an OpenQASM file or
-//!   a named QASMBench circuit and print compilation stats.
+//!   a named QASMBench circuit and print compilation stats; `--certify`
+//!   additionally emits a machine-checkable equivalence certificate.
+//! * `giallar check-cert` — independently re-validate a certificate,
+//!   refusing any tampering with fingerprints, wire maps, or evidence.
 //! * `giallar bench` — emit the Table 2 / Figure 11 / solver-microbench /
 //!   serve-latency JSON artifacts (the committed `BENCH_*.json` files), or
 //!   drift-check them against a directory with `--check` (timing fields
@@ -24,8 +27,10 @@
 //! `--expect-passes` / `--min-cache-hits` assertion, `2` usage error.
 
 mod bench_cmd;
+mod check_cert;
 mod client_cmd;
 mod compile;
+mod flags;
 mod serve_cmd;
 mod verify;
 
@@ -52,23 +57,6 @@ pub fn value_of(args: &[String], index: &mut usize, flag: &str) -> Result<String
 /// Parses the value of a numeric flag.
 pub fn parse_count(value: &str, flag: &str) -> Result<usize, CmdError> {
     value.parse::<usize>().map_err(|_| CmdError::Usage(format!("{flag}: invalid count `{value}`")))
-}
-
-/// Pops and parses the value of a `--backend` flag (shared by `verify` and
-/// `compile --verified`).
-pub fn parse_backend(
-    args: &[String],
-    index: &mut usize,
-) -> Result<giallar_core::backend::BackendSelection, CmdError> {
-    use giallar_core::backend::BackendSelection;
-    let name = value_of(args, index, "--backend")?;
-    BackendSelection::parse(&name).ok_or_else(|| {
-        let known: Vec<&str> = BackendSelection::ALL.iter().map(|s| s.id()).collect();
-        CmdError::Usage(format!(
-            "--backend: unknown backend `{name}`; known backends: {}",
-            known.join(", ")
-        ))
-    })
 }
 
 const USAGE: &str =
@@ -101,8 +89,16 @@ SUBCOMMANDS:
         --verified             also run the wrapped (Giallar) pipeline,
                                print the overhead inline, and re-verify the
                                scheduled passes via the backend registry
-        --backend <name>       backend for --verified re-verification
+        --backend <name>       backend for --verified re-verification and
+                               --certify evidence
+        --certify <path>       emit a machine-checkable equivalence
+                               certificate (check it with check-cert);
+                               works with or without --verified
         --list                 list the available named circuits
+    check-cert independently re-validate an equivalence certificate
+        <path>                 certificate file written by compile --certify
+                               or the daemon's certify op
+        --format <fmt>         table (default) | json
     bench      regenerate or drift-check the committed benchmark artifacts
         --out <dir>            output directory (default: .)
         --seed <n>             Figure 11 routing seed (default 7)
@@ -110,7 +106,8 @@ SUBCOMMANDS:
         --check <dir>          write nothing; compare regenerated artifacts
                                against the committed files in <dir>, ignoring
                                timing fields (nonzero exit on drift)
-    serve      run the resident verification daemon (giallar-serve/v1)
+    serve      run the resident verification daemon (giallar-serve/v2;
+                               bare v1 client lines still served)
         --listen <spec>        TCP address (default 127.0.0.1:7411) or
                                unix:<path>; TCP port 0 picks a free port
         --shards <n>           verdict cache shards (default 8)
@@ -131,8 +128,15 @@ SUBCOMMANDS:
             --expect-passes <n>  fail unless exactly n passes were verified
             --min-cache-hits <n> fail unless the server cache answered >= n
         compile <circuit>      compile a named QASMBench circuit server-side
+                               (same flag grammar as `giallar compile`)
             --device <dev>     falcon27 (default) | line:<n> | grid:<r>x<c>
             --seed <n>         routing seed (default 7)
+            --format <fmt>     table (default) | json
+            --certify <path>   certify server-side and write the daemon's
+                               certificate (byte-identical to a local
+                               compile --certify of the same input)
+            --backend <name>   backend for --certify evidence
+            --list             list the available named circuits
         invalidate <pass>      drop one pass's cached verdicts
             --backend <name>   routing whose cache keys to drop
         compact [backend ...]  drop entries from retired backends or a stale
@@ -148,6 +152,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("verify") => verify::run(&args[1..]),
         Some("compile") => compile::run(&args[1..]),
+        Some("check-cert") => check_cert::run(&args[1..]),
         Some("bench") => bench_cmd::run(&args[1..]),
         Some("serve") => serve_cmd::run(&args[1..]),
         Some("client") => client_cmd::run(&args[1..]),

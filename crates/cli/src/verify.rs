@@ -81,7 +81,7 @@ fn parse_options(args: &[String]) -> Result<Options, CmdError> {
                     "--min-cache-hits",
                 )?)
             }
-            "--backend" => options.backend = crate::parse_backend(args, &mut i)?,
+            "--backend" => options.backend = crate::flags::parse_backend(args, &mut i)?,
             other => return Err(CmdError::Usage(format!("verify: unknown option `{other}`"))),
         }
         i += 1;

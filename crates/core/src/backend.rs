@@ -57,7 +57,7 @@
 //! harness all pick the new backend up through [`BackendSelection`] — no
 //! other layer hard-codes a discharge strategy.
 
-use qc_symbolic::{EquivalenceChecker, SymCircuit, SymbolicExecutor, Verdict};
+use qc_symbolic::{EquivalenceChecker, SymCircuit, SymbolicExecutor, Verdict, WireEvidence};
 use smtlite::{reference_normalize, Context, Formula, RewriteRule};
 
 use crate::obligation::Goal;
@@ -143,6 +143,17 @@ pub trait SolverBackend: Send {
     /// no-op.
     fn prewarm(&mut self, max_qubits: usize) {
         let _ = max_qubits;
+    }
+
+    /// Discharges an equivalence goal while extracting the per-wire
+    /// [`WireEvidence`] a translation-validation certificate embeds.
+    /// `None` (the default) means the backend cannot produce evidence for
+    /// this goal; callers fall back to [`SolverBackend::discharge`] with
+    /// empty evidence.  The verdict returned here must agree with what
+    /// `discharge` would answer for the same goal (determinism rule).
+    fn equivalence_evidence(&mut self, goal: &Goal) -> Option<(Verdict, Vec<WireEvidence>)> {
+        let _ = goal;
+        None
     }
 }
 
@@ -244,6 +255,25 @@ impl SolverBackend for RewriteEquivBackend {
         if max_qubits > 0 {
             self.checker(max_qubits);
         }
+    }
+
+    fn equivalence_evidence(&mut self, goal: &Goal) -> Option<(Verdict, Vec<WireEvidence>)> {
+        let (lhs, rhs, perm) = match goal {
+            Goal::Equivalence { lhs, rhs } => (lhs, rhs, None),
+            Goal::EquivalenceUpToPermutation { lhs, rhs, perm } => (lhs, rhs, Some(perm)),
+            _ => return None,
+        };
+        if let Some(perm) = perm {
+            if let Some(verdict) = validate_wire_map(lhs, rhs, perm) {
+                return Some((verdict, Vec::new()));
+            }
+        }
+        let n = lhs.num_qubits().max(rhs.num_qubits());
+        let wire_map = match perm {
+            Some(perm) => perm.clone(),
+            None => (0..n).collect(),
+        };
+        Some(self.checker(n).check_with_evidence(lhs, rhs, &wire_map))
     }
 }
 
@@ -442,6 +472,63 @@ impl SolverBackend for ReferenceBackend {
             self.executor(max_qubits);
         }
     }
+
+    fn equivalence_evidence(&mut self, goal: &Goal) -> Option<(Verdict, Vec<WireEvidence>)> {
+        let (lhs, rhs, perm) = match goal {
+            Goal::Equivalence { lhs, rhs } => (lhs, rhs, None),
+            Goal::EquivalenceUpToPermutation { lhs, rhs, perm } => {
+                (lhs, rhs, Some(perm.as_slice()))
+            }
+            _ => return None,
+        };
+        if let Some(perm) = perm {
+            if let Some(verdict) = validate_wire_map(lhs, rhs, perm) {
+                return Some((verdict, Vec::new()));
+            }
+        }
+        let wire_map = perm.unwrap_or(&[]);
+        let circuit_width = lhs.num_qubits().max(rhs.num_qubits());
+        self.executor(circuit_width);
+        let ReferenceBackend { executor, rules, .. } = self;
+        let executor = executor.as_mut().expect("executor just ensured");
+        let out_lhs = executor.execute(lhs);
+        let out_rhs = executor.execute(rhs);
+        let arena = executor.context_mut().arena_mut();
+        let mut evidence = Vec::with_capacity(out_lhs.len());
+        let mut verdict = Verdict::Proved;
+        for (logical, &lhs_term) in out_lhs.iter().enumerate() {
+            let target = wire_map.get(logical).copied().unwrap_or(logical);
+            // Identical term ids are equal by hash-consing alone; fingerprint
+            // the shared term as-is instead of normalising it (the naive
+            // normaliser is exponential on deep routed circuits).
+            let (na, nb) = if lhs_term == out_rhs[target] {
+                (lhs_term, out_rhs[target])
+            } else {
+                (
+                    reference_normalize(arena, rules, lhs_term),
+                    reference_normalize(arena, rules, out_rhs[target]),
+                )
+            };
+            evidence.push(WireEvidence {
+                wire: logical,
+                target,
+                lhs_normal: arena.fingerprint(na),
+                rhs_normal: arena.fingerprint(nb),
+                agreed: na == nb,
+            });
+            if verdict.is_proved() && na != nb {
+                verdict = Verdict::Refuted {
+                    explanation: format!(
+                        "qubit {logical} differs: terms have distinct normal forms: \
+                         `{}` vs `{}`",
+                        arena.display(na),
+                        arena.display(nb)
+                    ),
+                };
+            }
+        }
+        Some((verdict, evidence))
+    }
 }
 
 /// Which backend family a verification run discharges with.  Parsed from the
@@ -576,6 +663,19 @@ impl BackendRegistry {
         self.backends[self.route[class.index()]].discharge(goal)
     }
 
+    /// Routes a goal like [`BackendRegistry::discharge`] but additionally
+    /// extracts per-wire equivalence evidence when the routed backend
+    /// supports it.  Non-equivalence goals (and backends without evidence
+    /// support) fall back to a plain discharge with empty evidence.
+    pub fn discharge_with_evidence(&mut self, goal: &Goal) -> (Verdict, Vec<WireEvidence>) {
+        let class = GoalClass::of(goal);
+        let backend = &mut self.backends[self.route[class.index()]];
+        match backend.equivalence_evidence(goal) {
+            Some(result) => result,
+            None => (backend.discharge(goal), Vec::new()),
+        }
+    }
+
     /// Forwards the pass-level warm-up to every installed backend.
     pub fn prewarm(&mut self, max_qubits: usize) {
         for backend in &mut self.backends {
@@ -662,6 +762,40 @@ mod tests {
             assert!(registry.discharge(&goal(vec![0, 2])).is_refuted(), "{selection}");
             assert!(registry.discharge(&goal(vec![0, 2, 1, 3])).is_refuted(), "{selection}");
             assert!(registry.discharge(&goal(vec![0, 2, 3])).is_refuted(), "{selection}");
+        }
+    }
+
+    #[test]
+    fn evidence_routing_agrees_with_plain_discharge() {
+        let mut routed = Circuit::new(3);
+        routed.cx(0, 1).swap(1, 2).cx(0, 1);
+        let mut original = Circuit::new(3);
+        original.cx(0, 1).cx(0, 2);
+        let goal = Goal::EquivalenceUpToPermutation {
+            lhs: SymCircuit::from_circuit(&original),
+            rhs: SymCircuit::from_circuit(&routed),
+            perm: vec![0, 2, 1],
+        };
+        for selection in BackendSelection::ALL {
+            let mut registry = BackendRegistry::new(selection);
+            let (verdict, evidence) = registry.discharge_with_evidence(&goal);
+            assert!(verdict.is_proved(), "{selection}");
+            assert_eq!(evidence.len(), 3, "{selection}");
+            assert!(evidence.iter().all(|e| e.agreed && e.lhs_normal == e.rhs_normal));
+            assert_eq!(evidence[1].target, 2);
+            // Malformed wire maps refute with empty evidence, like discharge.
+            let malformed = Goal::EquivalenceUpToPermutation {
+                lhs: SymCircuit::from_circuit(&original),
+                rhs: SymCircuit::from_circuit(&routed),
+                perm: vec![0, 2],
+            };
+            let (verdict, evidence) = registry.discharge_with_evidence(&malformed);
+            assert!(verdict.is_refuted(), "{selection}");
+            assert!(evidence.is_empty(), "{selection}");
+            // Non-equivalence goals fall back to a plain discharge.
+            let (verdict, evidence) = registry.discharge_with_evidence(&Goal::AlwaysTerminates);
+            assert!(verdict.is_proved(), "{selection}");
+            assert!(evidence.is_empty(), "{selection}");
         }
     }
 

@@ -115,7 +115,7 @@ impl CachedVerdict {
         matches!(self, CachedVerdict::Proved)
     }
 
-    fn to_json_value(&self) -> Value {
+    pub(crate) fn to_json_value(&self) -> Value {
         match self {
             CachedVerdict::Proved => {
                 Value::object(vec![("verdict", Value::String("proved".to_string()))])
@@ -131,7 +131,7 @@ impl CachedVerdict {
         }
     }
 
-    fn from_json_value(value: &Value) -> Result<Self, String> {
+    pub(crate) fn from_json_value(value: &Value) -> Result<Self, String> {
         let kind =
             value.get("verdict").and_then(Value::as_str).ok_or("cache entry: missing `verdict`")?;
         match kind {

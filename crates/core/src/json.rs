@@ -103,7 +103,7 @@ impl Value {
 
     /// Serializes the value as single-line JSON (no newlines, `", "` and
     /// `": "` separators elided to `,`/`:`), the framing used by the
-    /// line-delimited `giallar-serve/v1` wire protocol where one message
+    /// line-delimited `giallar-serve` wire protocol where one message
     /// must occupy exactly one line.
     pub fn to_compact(&self) -> String {
         let mut out = String::new();

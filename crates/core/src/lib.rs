@@ -35,6 +35,12 @@
 //!   rewriting, arithmetic, trivial, and a naive reference backend for
 //!   differential runs), and a [`backend::BackendRegistry`] that routes each
 //!   goal class to the backend selected by [`backend::BackendSelection`].
+//! * [`certificate`] — per-compilation translation-validation certificates:
+//!   a compilation can emit a machine-checkable
+//!   [`certificate::EquivalenceCertificate`] (circuit fingerprints, wire
+//!   map, per-wire equivalence evidence) that an independent
+//!   [`certificate::check_certificate`] run re-validates, refusing any
+//!   tampering.
 //! * [`cache`] — the incremental verification cache: per-**obligation**
 //!   verdicts keyed by a stable fingerprint of the obligation's canonical
 //!   form, the rewrite-rule library, and the discharging backend id,
@@ -67,6 +73,7 @@
 pub mod backend;
 pub mod cache;
 pub mod case_studies;
+pub mod certificate;
 pub mod json;
 pub mod library;
 pub mod obligation;
@@ -80,6 +87,10 @@ pub mod wrapper;
 pub use backend::{BackendDescriptor, BackendRegistry, BackendSelection, GoalClass, SolverBackend};
 pub use cache::{
     obligation_fingerprint, CachedVerdict, PassCacheStats, VerdictCache, CACHE_FORMAT_VERSION,
+};
+pub use certificate::{
+    certify_compilation, check_certificate, circuit_fingerprint, end_to_end_wire_map,
+    EquivalenceCertificate, CERT_SCHEMA,
 };
 pub use obligation::{Goal, PassClass, ProofObligation};
 pub use registry::{verified_passes, VerifiedPass};

@@ -298,7 +298,7 @@ impl CouplingMap {
 
     /// Parses a textual device spec: `falcon27`, `line:<n>`, or
     /// `grid:<r>x<c>` — the format shared by `giallar compile --device` and
-    /// the `compile` op of the `giallar-serve/v1` protocol.
+    /// the `compile` and `certify` ops of the `giallar-serve` protocol.
     ///
     /// # Errors
     ///

@@ -7,10 +7,51 @@
 //! comparison in the Giallar verifier.
 
 use qc_ir::Circuit;
-use smtlite::{TermId, Verdict};
+use smtlite::{Context, Fingerprint, TermId, Verdict};
 
 use crate::circuit::SymCircuit;
 use crate::exec::SymbolicExecutor;
+
+/// Per-wire equivalence evidence extracted while discharging an
+/// output ≡ input goal — the payload of a translation-validation
+/// certificate (see `giallar-core::certificate`).
+///
+/// Each entry records which output wire a logical input wire was compared
+/// against and the stable fingerprints of the terms the solver compared, so
+/// an independent checker can re-execute the circuits and confirm — wire by
+/// wire — that it reaches the same comparison points the issuer did.
+///
+/// Wires that are syntactically identical (the hash-consed arena gives them
+/// the same term id) are fingerprinted as-is: invoking the rewriter there
+/// would prove nothing the shared id does not already prove, and full
+/// normalisation of deep routed circuits is orders of magnitude more
+/// expensive.  Only *differing* wires are normalised, so the fingerprints of
+/// a disagreement are the actual normal forms the refutation compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireEvidence {
+    /// The logical wire of the input circuit.
+    pub wire: usize,
+    /// The output-circuit wire it was compared against (`wire_map[wire]`,
+    /// identity beyond the map).
+    pub target: usize,
+    /// Fingerprint of the term the input wire was compared at: the shared
+    /// term itself when both wires are syntactically identical, its normal
+    /// form under the rule library otherwise.
+    pub lhs_normal: Fingerprint,
+    /// Fingerprint of the term the output wire was compared at (see
+    /// [`WireEvidence::lhs_normal`]).
+    pub rhs_normal: Fingerprint,
+    /// Whether the solver proved the two wires equal.
+    pub agreed: bool,
+}
+
+/// Fingerprints a term structurally (stable across processes: the
+/// fingerprint is determined by the term structure alone, and the
+/// sharing-aware [`smtlite::TermArena::fingerprint`] stays linear where
+/// rendering a deep routed wire's term would explode).
+fn term_fingerprint(context: &Context, term: TermId) -> Fingerprint {
+    context.arena().fingerprint(term)
+}
 
 /// A reusable equivalence checker over a fixed register size.
 ///
@@ -113,6 +154,87 @@ impl EquivalenceChecker {
             }
         }
         Verdict::Proved
+    }
+
+    /// Like [`Self::check_with_permutation`], but additionally extracts one
+    /// [`WireEvidence`] entry per register wire — the payload of a
+    /// translation-validation certificate.
+    ///
+    /// Unlike the plain check, every wire is visited even after a failure, so
+    /// the evidence always covers the full register (an independent checker
+    /// can then confirm each wire, not only the ones before the first
+    /// mismatch).  The overall verdict reports the first failing wire,
+    /// exactly as [`Self::check_with_permutation`] would.  Malformed wire
+    /// maps are refuted with empty evidence.
+    pub fn check_with_evidence(
+        &mut self,
+        lhs: &SymCircuit,
+        rhs: &SymCircuit,
+        wire_map: &[usize],
+    ) -> (Verdict, Vec<WireEvidence>) {
+        let circuit_width = lhs.num_qubits().max(rhs.num_qubits());
+        if wire_map.len() > self.num_qubits || wire_map.len() < circuit_width {
+            return (
+                Verdict::Refuted {
+                    explanation: format!(
+                        "wire map covers {} qubits but the circuits span {circuit_width} \
+                         and the register has {}",
+                        wire_map.len(),
+                        self.num_qubits
+                    ),
+                },
+                Vec::new(),
+            );
+        }
+        if let Some(&bad) = wire_map.iter().find(|&&w| w >= self.num_qubits) {
+            return (
+                Verdict::Refuted {
+                    explanation: format!(
+                        "wire map sends a qubit to wire {bad}, outside the {}-qubit register",
+                        self.num_qubits
+                    ),
+                },
+                Vec::new(),
+            );
+        }
+        let out_lhs = self.executor.execute(lhs);
+        let out_rhs = self.executor.execute(rhs);
+        let mut evidence = Vec::with_capacity(self.num_qubits);
+        let mut verdict = Verdict::Proved;
+        for (logical, &a) in out_lhs.iter().enumerate().take(self.num_qubits) {
+            let target = wire_map.get(logical).copied().unwrap_or(logical);
+            let b = out_rhs[target];
+            // Identical term ids are equal by hash-consing alone; skip the
+            // rewriter and fingerprint the shared term directly (normalising
+            // every wire of a deep routed circuit can take seconds).
+            let (wire_verdict, na, nb) = if a == b {
+                (Verdict::Proved, a, b)
+            } else {
+                let wire_verdict = self.executor.context_mut().check_eq(a, b);
+                let na = self.executor.context_mut().normalize(a);
+                let nb = self.executor.context_mut().normalize(b);
+                (wire_verdict, na, nb)
+            };
+            evidence.push(WireEvidence {
+                wire: logical,
+                target,
+                lhs_normal: term_fingerprint(self.executor.context(), na),
+                rhs_normal: term_fingerprint(self.executor.context(), nb),
+                agreed: wire_verdict.is_proved(),
+            });
+            if verdict.is_proved() {
+                verdict = match wire_verdict {
+                    Verdict::Proved => Verdict::Proved,
+                    Verdict::Refuted { explanation } => Verdict::Refuted {
+                        explanation: format!("qubit {logical} differs: {explanation}"),
+                    },
+                    Verdict::Unknown { reason } => {
+                        Verdict::Unknown { reason: format!("qubit {logical} undecided: {reason}") }
+                    }
+                };
+            }
+        }
+        (verdict, evidence)
     }
 
     /// Convenience: assumes that two wires are equal (used to instantiate
@@ -267,6 +389,32 @@ mod tests {
         let mut wide = EquivalenceChecker::new(5);
         assert!(wide.check_with_permutation(&lhs, &rhs, &[0, 2, 1]).is_proved());
         assert!(wide.check_with_permutation(&lhs, &rhs, &[0, 2]).is_refuted());
+    }
+
+    #[test]
+    fn evidence_covers_every_wire_and_matches_the_plain_verdict() {
+        let mut routed = Circuit::new(3);
+        routed.cx(0, 1).swap(1, 2).cx(0, 1);
+        let mut original = Circuit::new(3);
+        original.cx(0, 1).cx(0, 2);
+        let lhs = SymCircuit::from_circuit(&original);
+        let rhs = SymCircuit::from_circuit(&routed);
+        let mut checker = EquivalenceChecker::new(3);
+        let (verdict, evidence) = checker.check_with_evidence(&lhs, &rhs, &[0, 2, 1]);
+        assert!(verdict.is_proved(), "{verdict:?}");
+        assert_eq!(evidence.len(), 3);
+        assert!(evidence.iter().all(|e| e.agreed && e.lhs_normal == e.rhs_normal));
+        assert_eq!(evidence[1].target, 2);
+        // A wrong map is refuted, but the evidence still covers all wires.
+        let mut checker = EquivalenceChecker::new(3);
+        let (verdict, evidence) = checker.check_with_evidence(&lhs, &rhs, &[0, 1, 2]);
+        assert!(verdict.is_refuted());
+        assert_eq!(evidence.len(), 3);
+        assert!(evidence.iter().any(|e| !e.agreed && e.lhs_normal != e.rhs_normal));
+        // Malformed maps are refuted up front with empty evidence.
+        let (verdict, evidence) = checker.check_with_evidence(&lhs, &rhs, &[0, 2]);
+        assert!(verdict.is_refuted());
+        assert!(evidence.is_empty());
     }
 
     #[test]

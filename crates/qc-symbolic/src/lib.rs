@@ -42,7 +42,7 @@ pub mod soundness;
 pub use circuit::{SymCircuit, SymElement};
 pub use equiv::{
     check_equivalence, check_equivalence_up_to_final_measurements,
-    check_equivalence_with_permutation, EquivalenceChecker,
+    check_equivalence_with_permutation, EquivalenceChecker, WireEvidence,
 };
 pub use exec::SymbolicExecutor;
 pub use rules::{

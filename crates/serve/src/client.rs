@@ -1,9 +1,15 @@
-//! A blocking client for the `giallar-serve/v1` protocol.
+//! A blocking client for the `giallar-serve` protocol.
 //!
 //! [`Client`] owns one connection and issues one request at a time,
-//! correlating each response by id.  The `giallar client` CLI subcommand is
-//! a thin wrapper over this type; tests and the serve-latency bench drive
-//! it directly.
+//! correlating each response by id.  Each request travels at the lowest
+//! protocol version that supports its op (see [`Op::min_version`] and the
+//! negotiation rules in [`crate::protocol`]): legacy ops go out as
+//! `giallar-serve/v1`, so a new client interoperates with an old server for
+//! everything but `certify` — and when an old server rejects a `v2` line,
+//! the client fails fast with the server's schema-mismatch message as a
+//! [`ClientError::Protocol`].  The `giallar client` CLI subcommand is a
+//! thin wrapper over this type; tests and the serve-latency bench drive it
+//! directly.
 
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
@@ -19,8 +25,9 @@ use crate::protocol::{Op, Request, Response};
 pub enum ClientError {
     /// The transport failed (connect, read, or write).
     Io(io::Error),
-    /// The peer sent something that is not a well-formed
-    /// `giallar-serve/v1` response for this request.
+    /// The peer sent something that is not a well-formed `giallar-serve`
+    /// response for this request (including a server that rejected the
+    /// request's protocol version).
     Protocol(String),
     /// The server answered with an error response (e.g. an unknown pass).
     Server(String),
@@ -42,7 +49,7 @@ impl From<io::Error> for ClientError {
     }
 }
 
-/// A connected `giallar-serve/v1` client.
+/// A connected `giallar-serve` client.
 pub struct Client {
     reader: BufReader<ByteStream>,
     next_id: i64,
@@ -69,7 +76,7 @@ impl Client {
     pub fn request(&mut self, op: Op) -> Result<Value, ClientError> {
         let id = self.next_id;
         self.next_id += 1;
-        let mut line = Request { id, op }.to_line();
+        let mut line = Request::new(id, op).to_line();
         line.push('\n');
         let stream = self.reader.get_mut();
         stream.write_all(line.as_bytes())?;
@@ -80,6 +87,16 @@ impl Client {
         }
         let response = Response::from_line(&reply).map_err(ClientError::Protocol)?;
         if response.id != id {
+            // id -1 marks a request the server could not even parse — most
+            // commonly an old server refusing this request's protocol
+            // version.  Fail fast with the server's own message.
+            if response.id == -1 {
+                if let Err(message) = response.result {
+                    return Err(ClientError::Protocol(format!(
+                        "server rejected the request: {message}"
+                    )));
+                }
+            }
             return Err(ClientError::Protocol(format!(
                 "response id {} does not match request id {id}",
                 response.id
@@ -122,6 +139,30 @@ impl Client {
         seed: u64,
     ) -> Result<Value, ClientError> {
         self.request(Op::Compile { circuit: circuit.to_string(), device: device.to_string(), seed })
+    }
+
+    /// The `certify` op: compile a named QASMBench circuit server-side and
+    /// return its equivalence certificate.  This is the one
+    /// `giallar-serve/v2` op — against a `v1`-only server the request fails
+    /// fast with [`ClientError::Protocol`] carrying the server's
+    /// schema-mismatch message.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::request`].
+    pub fn certify(
+        &mut self,
+        circuit: &str,
+        device: &str,
+        seed: u64,
+        backend: BackendSelection,
+    ) -> Result<Value, ClientError> {
+        self.request(Op::Certify {
+            circuit: circuit.to_string(),
+            device: device.to_string(),
+            seed,
+            backend,
+        })
     }
 
     /// The `invalidate` op.

@@ -38,13 +38,14 @@ use std::time::Instant;
 
 use giallar_core::backend::{BackendSelection, GoalClass};
 use giallar_core::cache::{CachedVerdict, VerdictCache};
+use giallar_core::certificate::{certify_compilation, EquivalenceCertificate};
 use giallar_core::obligation::ProofObligation;
 use giallar_core::registry::verified_passes;
 use giallar_core::shard::{EvictionPolicy, EvictionSummary, FoldedStats, ShardedVerdictCache};
 use giallar_core::verifier::{
     fold_verdict_stream, obligation_fingerprints, pass_register_width, Discharger, PassReport,
 };
-use giallar_core::wrapper::baseline_transpile;
+use giallar_core::wrapper::{baseline_transpile, giallar_pipeline_pass_names};
 use qc_ir::CouplingMap;
 use rayon::prelude::*;
 use smtlite::Fingerprint;
@@ -148,6 +149,20 @@ pub struct CompileOutcome {
     /// The transpiler's `is_swap_mapped` property, when set.
     pub swap_mapped: Option<bool>,
     /// Wall-clock compile time.
+    pub seconds: f64,
+}
+
+/// A successful `certify` op.
+#[derive(Debug, Clone)]
+pub struct CertifyOutcome {
+    /// The emitted certificate.
+    pub certificate: EquivalenceCertificate,
+    /// Whether the resident cache already held this compilation's verdict
+    /// under [`EquivalenceCertificate::cache_key`].
+    pub cached: bool,
+    /// The certificate's key in the resident sharded cache.
+    pub cache_key: Fingerprint,
+    /// Wall-clock compile + certify time.
     pub seconds: f64,
 }
 
@@ -480,6 +495,79 @@ impl Engine {
         })
     }
 
+    /// Compiles a named QASMBench circuit and emits an equivalence
+    /// certificate for the compilation.
+    ///
+    /// The certificate's verdict lives in the resident sharded cache under
+    /// [`EquivalenceCertificate::cache_key`] — the same keying as pass
+    /// obligations — so repeated certifications of one compilation count as
+    /// cache hits in the shard statistics.  The certificate document itself
+    /// is recomputed per emission (it embeds the circuits and the per-wire
+    /// evidence), which is also what keeps a served certificate
+    /// byte-identical to a local `giallar compile --certify` of the same
+    /// input.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for an unknown circuit, a malformed device spec, a
+    /// circuit wider than the device, or a transpiler failure.
+    pub fn certify(
+        &self,
+        circuit: &str,
+        device_spec: &str,
+        seed: u64,
+        selection: BackendSelection,
+    ) -> Result<CertifyOutcome, String> {
+        let bench = qasmbench::benchmark_suite()
+            .into_iter()
+            .find(|b| b.name == circuit)
+            .ok_or_else(|| {
+                format!("certify: unknown circuit `{circuit}` (the server certifies named QASMBench circuits)")
+            })?;
+        let device =
+            CouplingMap::from_spec(device_spec).map_err(|error| format!("certify: {error}"))?;
+        if bench.circuit.num_qubits() > device.num_qubits() {
+            return Err(format!(
+                "certify: {circuit} needs {} qubits but device `{device_spec}` has {}",
+                bench.circuit.num_qubits(),
+                device.num_qubits()
+            ));
+        }
+        let start = Instant::now();
+        let result = baseline_transpile(&bench.circuit, &device, seed)
+            .map_err(|error| format!("certify: {circuit}: {error:?}"))?;
+        let pipeline: Vec<String> =
+            giallar_pipeline_pass_names(&device, seed).into_iter().map(str::to_string).collect();
+        let certificate = certify_compilation(
+            &bench.name,
+            device_spec,
+            seed,
+            &bench.circuit,
+            &result,
+            &pipeline,
+            selection,
+        );
+        let key = certificate.cache_key();
+        let backend = selection.backend_id_for(GoalClass::of(&certificate.obligation().goal));
+        let cached = if self.cache.pin(key) {
+            let hit = self.cache.peek(key).is_some();
+            self.cache.unpin(key);
+            hit
+        } else {
+            false
+        };
+        self.cache.note_served(key, cached);
+        if !cached {
+            self.cache.record(key, certificate.verdict.clone(), backend);
+        }
+        Ok(CertifyOutcome {
+            certificate,
+            cached,
+            cache_key: key,
+            seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
     /// A point-in-time census of the resident state.
     pub fn status(&self) -> StatusSnapshot {
         StatusSnapshot {
@@ -617,6 +705,26 @@ mod tests {
         assert!(outcome.output.1 > 0);
         assert!(engine.compile("no_such_circuit", "falcon27", 7).is_err());
         assert!(engine.compile(&small.name, "torus:9", 7).is_err());
+    }
+
+    #[test]
+    fn certify_emits_a_checkable_certificate_and_caches_the_verdict() {
+        let engine = Engine::new(EngineConfig::default());
+        let suite = qasmbench::benchmark_suite();
+        let small = suite.iter().min_by_key(|b| b.circuit.num_qubits()).unwrap();
+        let cold = engine.certify(&small.name, "falcon27", 7, BackendSelection::Default).unwrap();
+        assert!(!cold.cached);
+        assert!(cold.certificate.verdict.is_proved());
+        // The served certificate stands on its own.
+        giallar_core::certificate::check_certificate(&cold.certificate).unwrap();
+        // Same compilation again: verdict answered from the resident cache,
+        // document identical.
+        let warm = engine.certify(&small.name, "falcon27", 7, BackendSelection::Default).unwrap();
+        assert!(warm.cached);
+        assert_eq!(warm.cache_key, cold.cache_key);
+        assert_eq!(warm.certificate, cold.certificate);
+        assert!(engine.certify("no_such_circuit", "falcon27", 7, Default::default()).is_err());
+        assert!(engine.certify(&small.name, "torus:9", 7, Default::default()).is_err());
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! * [`batch`] — the pure planning step that groups a dispatch batch's
 //!   cache misses by `(backend selection, goal class, register width)` so
 //!   each group shares one prewarmed solver context.
-//! * [`protocol`] — the line-delimited JSON `giallar-serve/v1` wire
+//! * [`protocol`] — the line-delimited JSON `giallar-serve/v2` wire
 //!   protocol (see `docs/ARCHITECTURE.md` for the full schema).
 //! * [`net`] — endpoint specs and a unified stream over TCP and Unix
 //!   sockets.

@@ -1,10 +1,32 @@
-//! The `giallar-serve/v1` wire protocol.
+//! The `giallar-serve` wire protocol (current version: `giallar-serve/v2`).
 //!
 //! Messages are line-delimited JSON: every request and every response is one
 //! compact JSON object ([`giallar_core::json::Value::to_compact`]) followed
-//! by a single `\n`.  Both directions carry a `schema` member pinned to
-//! [`SCHEMA`] so either side can reject a peer speaking a different version,
-//! and an `id` chosen by the client and echoed verbatim by the server.
+//! by a single `\n`.  Both directions carry a `schema` member naming a
+//! [`ProtocolVersion`] so either side can reject a peer speaking a version
+//! it does not understand, and an `id` chosen by the client and echoed
+//! verbatim by the server.
+//!
+//! # Version negotiation
+//!
+//! There is no handshake; negotiation is per message, by these rules:
+//!
+//! * The server accepts **every** supported version ([`ProtocolVersion::ALL`]):
+//!   a bare `giallar-serve/v1` line from an old client is served exactly as
+//!   before.  The `status` result advertises the supported versions in its
+//!   `protocols` member so clients can probe before committing to an op.
+//! * The server answers each request **at the version the request carried**,
+//!   so an old client never sees a schema it cannot parse.  (Unparseable
+//!   request lines are answered with id `-1` at `v1`, the floor every
+//!   client understands.)
+//! * The client sends each request at the **lowest version that supports
+//!   its op** ([`Op::min_version`]) — legacy ops travel as `v1`, `certify`
+//!   as `v2` — so a new client interoperates with an old server for every
+//!   op the old server has.  When it does not (an old server sees a `v2`
+//!   line), the server's schema-mismatch error is the fail-fast signal;
+//!   [`crate::client::Client`] surfaces it as a protocol error.
+//! * `v2` adds exactly one op, `certify`; every `v1` message is also a
+//!   valid `v2` message.  A `certify` request carried at `v1` is refused.
 //!
 //! Requests:
 //!
@@ -13,13 +35,14 @@
 //! {"schema":"giallar-serve/v1","id":2,"op":"verify","backend":"default"}
 //! {"schema":"giallar-serve/v1","id":3,"op":"verify","passes":["CXCancellation"],"backend":"default"}
 //! {"schema":"giallar-serve/v1","id":4,"op":"compile","circuit":"qft_16","device":"falcon27","seed":7}
-//! {"schema":"giallar-serve/v1","id":5,"op":"invalidate","pass":"CXCancellation","backend":"default"}
-//! {"schema":"giallar-serve/v1","id":6,"op":"compact","retired_backends":["reference"]}
-//! {"schema":"giallar-serve/v1","id":7,"op":"evict"}
-//! {"schema":"giallar-serve/v1","id":8,"op":"shutdown"}
+//! {"schema":"giallar-serve/v2","id":5,"op":"certify","circuit":"qft_16","device":"falcon27","seed":7,"backend":"default"}
+//! {"schema":"giallar-serve/v1","id":6,"op":"invalidate","pass":"CXCancellation","backend":"default"}
+//! {"schema":"giallar-serve/v1","id":7,"op":"compact","retired_backends":["reference"]}
+//! {"schema":"giallar-serve/v1","id":8,"op":"evict"}
+//! {"schema":"giallar-serve/v1","id":9,"op":"shutdown"}
 //! ```
 //!
-//! Responses:
+//! Responses (the `schema` echoes the request's version):
 //!
 //! ```json
 //! {"schema":"giallar-serve/v1","id":2,"ok":true,"result":{"reports":[],"hits":104,"misses":0}}
@@ -34,13 +57,13 @@
 //! use giallar_core::backend::BackendSelection;
 //! use giallar_serve::protocol::{Op, Request, Response};
 //!
-//! let request = Request {
-//!     id: 3,
-//!     op: Op::Verify {
+//! let request = Request::new(
+//!     3,
+//!     Op::Verify {
 //!         passes: Some(vec!["CXCancellation".to_string()]),
 //!         backend: BackendSelection::Default,
 //!     },
-//! };
+//! );
 //! let line = request.to_line();
 //! assert!(!line.contains('\n'));
 //! let back = Request::from_line(&line).unwrap();
@@ -54,8 +77,42 @@
 use giallar_core::backend::BackendSelection;
 use giallar_core::json::{parse, Value};
 
-/// The protocol version string carried by every message.
-pub const SCHEMA: &str = "giallar-serve/v1";
+/// A wire protocol version.  `v2` is a strict superset of `v1` (it adds the
+/// `certify` op); see the module docs for the negotiation rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ProtocolVersion {
+    /// `giallar-serve/v1`: status, verify, compile, invalidate, compact,
+    /// evict, shutdown.
+    V1,
+    /// `giallar-serve/v2`: everything in `v1` plus `certify`.
+    V2,
+}
+
+impl ProtocolVersion {
+    /// Every version this build speaks, oldest first (the `status` result
+    /// advertises these in its `protocols` member).
+    pub const ALL: [ProtocolVersion; 2] = [ProtocolVersion::V1, ProtocolVersion::V2];
+
+    /// The version's `schema` string.
+    pub fn schema(self) -> &'static str {
+        match self {
+            ProtocolVersion::V1 => SCHEMA_V1,
+            ProtocolVersion::V2 => SCHEMA,
+        }
+    }
+
+    /// Parses a `schema` string into a supported version.
+    pub fn parse(schema: &str) -> Option<ProtocolVersion> {
+        ProtocolVersion::ALL.into_iter().find(|v| v.schema() == schema)
+    }
+}
+
+/// The current protocol version string.
+pub const SCHEMA: &str = "giallar-serve/v2";
+
+/// The `v1` version string, still accepted on the wire so pre-`v2` clients
+/// keep working unchanged.
+pub const SCHEMA_V1: &str = "giallar-serve/v1";
 
 /// The default TCP address `giallar serve` listens on (and `giallar client`
 /// connects to) when `--listen` / `--connect` is not given.
@@ -85,6 +142,19 @@ pub enum Op {
         /// Routing seed.
         seed: u64,
     },
+    /// Compile a named QASMBench circuit and emit an equivalence
+    /// certificate (a `v2` op; see
+    /// [`giallar_core::certificate::EquivalenceCertificate`]).
+    Certify {
+        /// QASMBench circuit name (e.g. `qft_16`).
+        circuit: String,
+        /// Device spec: `falcon27`, `line:<n>`, or `grid:<r>x<c>`.
+        device: String,
+        /// Routing seed.
+        seed: u64,
+        /// Backend routing for the certificate's equivalence evidence.
+        backend: BackendSelection,
+    },
     /// Drop one pass's cached verdicts so its next request re-discharges.
     Invalidate {
         /// The pass whose obligations to forget.
@@ -111,28 +181,48 @@ impl Op {
             Op::Status => "status",
             Op::Verify { .. } => "verify",
             Op::Compile { .. } => "compile",
+            Op::Certify { .. } => "certify",
             Op::Invalidate { .. } => "invalidate",
             Op::Compact { .. } => "compact",
             Op::Evict => "evict",
             Op::Shutdown => "shutdown",
         }
     }
+
+    /// The lowest protocol version that supports the op — the version a
+    /// client should send it at (see the module docs).
+    pub fn min_version(&self) -> ProtocolVersion {
+        match self {
+            Op::Certify { .. } => ProtocolVersion::V2,
+            _ => ProtocolVersion::V1,
+        }
+    }
 }
 
-/// A client request: an id (echoed in the response) plus the operation.
+/// A client request: an id (echoed in the response), the operation, and the
+/// protocol version the request travels at.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// Client-chosen correlation id, echoed verbatim by the server.
     pub id: i64,
     /// The requested operation.
     pub op: Op,
+    /// The version this request is encoded at.  [`Request::new`] picks the
+    /// op's [`Op::min_version`]; decoding records whatever the wire said.
+    pub version: ProtocolVersion,
 }
 
 impl Request {
+    /// Builds a request at the lowest version supporting its op.
+    pub fn new(id: i64, op: Op) -> Request {
+        let version = op.min_version();
+        Request { id, op, version }
+    }
+
     /// Encodes the request as a JSON value.
     pub fn to_value(&self) -> Value {
         let mut members = vec![
-            ("schema", Value::String(SCHEMA.to_string())),
+            ("schema", Value::String(self.version.schema().to_string())),
             ("id", Value::Int(self.id)),
             ("op", Value::String(self.op.name().to_string())),
         ];
@@ -151,6 +241,12 @@ impl Request {
                 members.push(("circuit", Value::String(circuit.clone())));
                 members.push(("device", Value::String(device.clone())));
                 members.push(("seed", Value::Int(*seed as i64)));
+            }
+            Op::Certify { circuit, device, seed, backend } => {
+                members.push(("circuit", Value::String(circuit.clone())));
+                members.push(("device", Value::String(device.clone())));
+                members.push(("seed", Value::Int(*seed as i64)));
+                members.push(("backend", Value::String(backend.id().to_string())));
             }
             Op::Invalidate { pass, backend } => {
                 members.push(("pass", Value::String(pass.clone())));
@@ -181,7 +277,7 @@ impl Request {
     /// Returns a human-readable description of the first malformed member
     /// (including a schema mismatch).
     pub fn from_value(value: &Value) -> Result<Request, String> {
-        check_schema(value)?;
+        let version = check_schema(value)?;
         let id = value.get("id").and_then(Value::as_int).ok_or("request: missing `id`")?;
         let op = value.get("op").and_then(Value::as_str).ok_or("request: missing `op`")?;
         let op = match op {
@@ -208,12 +304,22 @@ impl Request {
             "compile" => Op::Compile {
                 circuit: string_member(value, "circuit")?,
                 device: string_member(value, "device")?,
-                seed: value
-                    .get("seed")
-                    .and_then(Value::as_int)
-                    .and_then(|v| u64::try_from(v).ok())
-                    .ok_or("request: missing `seed`")?,
+                seed: seed_member(value)?,
             },
+            "certify" => {
+                if version < ProtocolVersion::V2 {
+                    return Err(format!(
+                        "request: op `certify` requires `{SCHEMA}` (request carried `{}`)",
+                        version.schema()
+                    ));
+                }
+                Op::Certify {
+                    circuit: string_member(value, "circuit")?,
+                    device: string_member(value, "device")?,
+                    seed: seed_member(value)?,
+                    backend: backend_of(value)?,
+                }
+            }
             "invalidate" => {
                 Op::Invalidate { pass: string_member(value, "pass")?, backend: backend_of(value)? }
             }
@@ -234,7 +340,7 @@ impl Request {
             }
             other => return Err(format!("request: unknown op `{other}`")),
         };
-        Ok(Request { id, op })
+        Ok(Request { id, op, version })
     }
 
     /// Decodes a request from one wire line.
@@ -248,30 +354,43 @@ impl Request {
 }
 
 /// A server response: the echoed request id plus either the op's result
-/// object or an error message.
+/// object or an error message, carried at the version of the request it
+/// answers.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Response {
     /// The id of the request this answers.
     pub id: i64,
     /// The op's result on success, or the error description.
     pub result: Result<Value, String>,
+    /// The version this response is encoded at.  The server echoes the
+    /// request's version (see [`Response::versioned`]); the constructors
+    /// default to the current version.
+    pub version: ProtocolVersion,
 }
 
 impl Response {
     /// A success response carrying `result`.
     pub fn ok(id: i64, result: Value) -> Response {
-        Response { id, result: Ok(result) }
+        Response { id, result: Ok(result), version: ProtocolVersion::V2 }
     }
 
     /// An error response carrying a message.
     pub fn error(id: i64, message: impl Into<String>) -> Response {
-        Response { id, result: Err(message.into()) }
+        Response { id, result: Err(message.into()), version: ProtocolVersion::V2 }
+    }
+
+    /// Re-stamps the response at `version` (the server answers each request
+    /// at the version it arrived at, so old clients always get a schema
+    /// they parse).
+    pub fn versioned(mut self, version: ProtocolVersion) -> Response {
+        self.version = version;
+        self
     }
 
     /// Encodes the response as a JSON value.
     pub fn to_value(&self) -> Value {
         let mut members = vec![
-            ("schema", Value::String(SCHEMA.to_string())),
+            ("schema", Value::String(self.version.schema().to_string())),
             ("id", Value::Int(self.id)),
             ("ok", Value::Bool(self.result.is_ok())),
         ];
@@ -293,7 +412,7 @@ impl Response {
     ///
     /// Returns a human-readable description of the first malformed member.
     pub fn from_value(value: &Value) -> Result<Response, String> {
-        check_schema(value)?;
+        let version = check_schema(value)?;
         let id = value.get("id").and_then(Value::as_int).ok_or("response: missing `id`")?;
         let ok = value.get("ok").and_then(Value::as_bool).ok_or("response: missing `ok`")?;
         let result = if ok {
@@ -305,7 +424,7 @@ impl Response {
                 .ok_or("response: missing `error`")?
                 .to_string())
         };
-        Ok(Response { id, result })
+        Ok(Response { id, result, version })
     }
 
     /// Decodes a response from one wire line.
@@ -318,12 +437,21 @@ impl Response {
     }
 }
 
-fn check_schema(value: &Value) -> Result<(), String> {
+fn check_schema(value: &Value) -> Result<ProtocolVersion, String> {
     match value.get("schema").and_then(Value::as_str) {
-        Some(SCHEMA) => Ok(()),
-        Some(other) => Err(format!("schema mismatch: expected `{SCHEMA}`, got `{other}`")),
-        None => Err(format!("missing `schema` (expected `{SCHEMA}`)")),
+        Some(schema) => ProtocolVersion::parse(schema).ok_or_else(|| {
+            format!("schema mismatch: expected `{SCHEMA}` or `{SCHEMA_V1}`, got `{schema}`")
+        }),
+        None => Err(format!("missing `schema` (expected `{SCHEMA}` or `{SCHEMA_V1}`)")),
     }
+}
+
+fn seed_member(value: &Value) -> Result<u64, String> {
+    value
+        .get("seed")
+        .and_then(Value::as_int)
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or_else(|| "request: missing `seed`".to_string())
 }
 
 fn string_member(value: &Value, key: &str) -> Result<String, String> {
@@ -357,6 +485,12 @@ mod tests {
                 backend: BackendSelection::Reference,
             },
             Op::Compile { circuit: "qft_16".to_string(), device: "falcon27".to_string(), seed: 7 },
+            Op::Certify {
+                circuit: "qft_16".to_string(),
+                device: "falcon27".to_string(),
+                seed: 7,
+                backend: BackendSelection::Reference,
+            },
             Op::Invalidate { pass: "CheckMap".to_string(), backend: BackendSelection::Default },
             Op::Compact { retired_backends: vec!["reference".to_string()] },
             Op::Compact { retired_backends: Vec::new() },
@@ -364,11 +498,40 @@ mod tests {
             Op::Shutdown,
         ];
         for (id, op) in ops.into_iter().enumerate() {
-            let request = Request { id: id as i64, op };
+            let request = Request::new(id as i64, op);
             let line = request.to_line();
             assert!(!line.contains('\n'), "{line:?}");
             assert_eq!(Request::from_line(&line).unwrap(), request, "{line}");
         }
+    }
+
+    #[test]
+    fn clients_send_each_op_at_the_lowest_supporting_version() {
+        // Legacy ops travel as v1 so old servers keep serving new clients.
+        let status = Request::new(1, Op::Status);
+        assert_eq!(status.version, ProtocolVersion::V1);
+        assert!(status.to_line().contains(SCHEMA_V1));
+        // The one v2 op travels as v2.
+        let certify = Request::new(
+            2,
+            Op::Certify {
+                circuit: "qft_16".to_string(),
+                device: "falcon27".to_string(),
+                seed: 7,
+                backend: BackendSelection::Default,
+            },
+        );
+        assert_eq!(certify.version, ProtocolVersion::V2);
+        assert!(certify.to_line().contains(SCHEMA));
+        // A certify request downgraded to v1 is refused at decode time.
+        let downgraded = Request { version: ProtocolVersion::V1, ..certify };
+        assert!(Request::from_line(&downgraded.to_line())
+            .unwrap_err()
+            .contains("op `certify` requires `giallar-serve/v2`"));
+        // Responses echo the request's version.
+        let reply = Response::ok(1, Value::object(vec![])).versioned(ProtocolVersion::V1);
+        assert!(reply.to_line().contains(SCHEMA_V1));
+        assert_eq!(Response::from_line(&reply.to_line()).unwrap().version, ProtocolVersion::V1);
     }
 
     #[test]
@@ -384,6 +547,7 @@ mod tests {
         let request =
             Request::from_line(r#"{"schema":"giallar-serve/v1","id":1,"op":"verify"}"#).unwrap();
         assert_eq!(request.op, Op::Verify { passes: None, backend: BackendSelection::Default });
+        assert_eq!(request.version, ProtocolVersion::V1);
         assert!(Request::from_line(r#"{"schema":"giallar-serve/v1","id":1,"op":"freeze"}"#)
             .unwrap_err()
             .contains("unknown op"));

@@ -39,9 +39,11 @@ use giallar_core::backend::BackendSelection;
 use giallar_core::json::Value;
 use giallar_core::shard::{EvictionSummary, ShardStats};
 
-use crate::engine::{CompileOutcome, Engine, StatusSnapshot, VerifyOutcome, VerifyRequest};
+use crate::engine::{
+    CertifyOutcome, CompileOutcome, Engine, StatusSnapshot, VerifyOutcome, VerifyRequest,
+};
 use crate::net::{ByteStream, Endpoint};
-use crate::protocol::{Op, Request, Response};
+use crate::protocol::{Op, ProtocolVersion, Request, Response};
 
 /// How often blocked reads and response waits recheck the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(100);
@@ -179,7 +181,9 @@ fn serve_connection(mut stream: ByteStream, jobs: mpsc::Sender<Job>, shutdown: &
             }
             let response = match Request::from_line(&line) {
                 Ok(request) => dispatch(&jobs, request, shutdown),
-                Err(error) => Response::error(-1, error),
+                // No trustworthy id or version to echo; answer at v1, the
+                // floor every client parses.
+                Err(error) => Response::error(-1, error).versioned(ProtocolVersion::V1),
             };
             let mut wire = response.to_line();
             wire.push('\n');
@@ -205,9 +209,10 @@ fn serve_connection(mut stream: ByteStream, jobs: mpsc::Sender<Job>, shutdown: &
 /// polling the shutdown flag so a dying server never wedges a connection.
 fn dispatch(jobs: &mpsc::Sender<Job>, request: Request, shutdown: &AtomicBool) -> Response {
     let id = request.id;
+    let version = request.version;
     let (reply_tx, reply_rx) = mpsc::channel();
     if jobs.send(Job { request, reply: reply_tx }).is_err() {
-        return Response::error(id, "server is shutting down");
+        return Response::error(id, "server is shutting down").versioned(version);
     }
     loop {
         match reply_rx.recv_timeout(POLL_INTERVAL) {
@@ -217,7 +222,7 @@ fn dispatch(jobs: &mpsc::Sender<Job>, request: Request, shutdown: &AtomicBool) -
                 // dropped channel means the reply will never come.
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return Response::error(id, "server is shutting down");
+                return Response::error(id, "server is shutting down").versioned(version);
             }
         }
         if shutdown.load(Ordering::SeqCst) {
@@ -225,7 +230,7 @@ fn dispatch(jobs: &mpsc::Sender<Job>, request: Request, shutdown: &AtomicBool) -
             if let Ok(response) = reply_rx.try_recv() {
                 return response;
             }
-            return Response::error(id, "server is shutting down");
+            return Response::error(id, "server is shutting down").versioned(version);
         }
     }
 }
@@ -295,7 +300,7 @@ fn serve_verify_run(engine: &Engine, run: &[Job]) {
             (_, Ok(_)) => unreachable!("verify runs hold only verify ops"),
             (_, Err(error)) => Response::error(job.request.id, error),
         };
-        let _ = job.reply.send(response);
+        let _ = job.reply.send(response.versioned(job.request.version));
     }
 }
 
@@ -309,6 +314,12 @@ fn serve_one(engine: &Engine, job: &Job) -> bool {
             Ok(outcome) => Response::ok(id, compile_value(&outcome)),
             Err(error) => Response::error(id, error),
         },
+        Op::Certify { circuit, device, seed, backend } => {
+            match engine.certify(circuit, device, *seed, *backend) {
+                Ok(outcome) => Response::ok(id, certify_value(&outcome)),
+                Err(error) => Response::error(id, error),
+            }
+        }
         Op::Invalidate { pass, backend } => match engine.invalidate(pass, *backend) {
             Ok(removed) => Response::ok(
                 id,
@@ -332,7 +343,7 @@ fn serve_one(engine: &Engine, job: &Job) -> bool {
         }
         Op::Verify { .. } => unreachable!("verify ops are served in runs"),
     };
-    let _ = job.reply.send(response);
+    let _ = job.reply.send(response.versioned(job.request.version));
     stop
 }
 
@@ -370,6 +381,15 @@ fn optional_count(count: Option<u64>) -> Value {
 
 fn status_value(status: &StatusSnapshot) -> Value {
     Value::object(vec![
+        (
+            "protocols",
+            Value::Array(
+                ProtocolVersion::ALL
+                    .iter()
+                    .map(|v| Value::String(v.schema().to_string()))
+                    .collect(),
+            ),
+        ),
         ("passes", Value::Int(status.passes as i64)),
         ("subgoals", Value::Int(status.subgoals as i64)),
         ("shards", Value::Int(status.shards as i64)),
@@ -412,6 +432,18 @@ fn compile_value(outcome: &CompileOutcome) -> Value {
                 None => Value::Null,
             },
         ),
+        ("seconds", Value::Float(outcome.seconds)),
+    ])
+}
+
+/// The `certify` result object: the certificate document itself (exactly
+/// what `giallar compile --certify` writes, so a client can persist it
+/// byte-identically), plus cache bookkeeping.
+fn certify_value(outcome: &CertifyOutcome) -> Value {
+    Value::object(vec![
+        ("certificate", outcome.certificate.to_json()),
+        ("cached", Value::Bool(outcome.cached)),
+        ("cache_key", Value::String(outcome.cache_key.to_hex())),
         ("seconds", Value::Float(outcome.seconds)),
     ])
 }

@@ -12,6 +12,8 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+
 /// Identifier of an interned term inside a [`TermArena`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct TermId(pub usize);
@@ -175,6 +177,44 @@ impl TermArena {
             TermData::Symbol(_) | TermData::Int(_) => 1,
             TermData::App(_, args) => 1 + args.iter().map(|&a| self.size(a)).sum::<usize>(),
         }
+    }
+
+    /// A stable structural fingerprint of a term: a function of symbol
+    /// names, integer values, and application structure alone, so two
+    /// structurally identical terms fingerprint identically even across
+    /// arenas and processes.  Memoised over the hash-consed DAG — linear in
+    /// the number of *distinct* sub-terms, where fingerprinting
+    /// [`TermArena::display`] output would expand the sharing into an
+    /// exponentially large tree.
+    pub fn fingerprint(&self, id: TermId) -> Fingerprint {
+        fn go(
+            arena: &TermArena,
+            id: TermId,
+            memo: &mut HashMap<TermId, Fingerprint>,
+        ) -> Fingerprint {
+            if let Some(&known) = memo.get(&id) {
+                return known;
+            }
+            let mut builder = FingerprintBuilder::new();
+            match arena.data(id) {
+                TermData::Symbol(s) => {
+                    builder.write_str("sym").write_str(s);
+                }
+                TermData::Int(v) => {
+                    builder.write_str("int").write_u64(*v as u64);
+                }
+                TermData::App(f, args) => {
+                    builder.write_str("app").write_str(arena.symbol_name(*f));
+                    for &arg in args {
+                        builder.write_u64(go(arena, arg, memo).0);
+                    }
+                }
+            }
+            let fingerprint = builder.finish();
+            memo.insert(id, fingerprint);
+            fingerprint
+        }
+        go(self, id, &mut HashMap::new())
     }
 
     /// All term ids interned so far, in creation order.

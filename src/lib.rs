@@ -11,7 +11,7 @@
 //!   proof obligations, the 44 verified passes, the wrapper, case studies.
 //! * [`bench_circuits`] — QASMBench-style benchmark generators.
 //! * [`serve`] — the resident verification service: sharded verdict cache,
-//!   goal-class request batching, and the `giallar-serve/v1` wire protocol.
+//!   goal-class request batching, and the `giallar-serve/v2` wire protocol (v1 lines still accepted).
 //!
 //! # Example
 //!
