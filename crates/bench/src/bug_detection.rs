@@ -1,0 +1,289 @@
+//! The fault-injection campaign artifact (`BENCH_bug_detection.json`).
+//!
+//! Wraps `giallar_core::mutate`: the registry campaign wounds every
+//! falsifiable proof obligation of the 44 verified passes with seven
+//! operator families and requires both solver backends to refute each
+//! wound at the wounded obligation with precise fault coordinates; the
+//! pipeline campaign corrupts real QASMBench compilations with a
+//! `SabotagePass` and requires the certificate checker to refuse them.
+//!
+//! Everything structural (mutant corpus, per-mutant verdicts, localization
+//! and precision flags, pipeline refusals) is deterministic per seed and
+//! drift-checked by `giallar bench --check`; time-to-refute measurements
+//! live in `timing` sections emitted only with `include_timings` (see
+//! [`crate::strip_timing`]).
+
+use std::collections::BTreeMap;
+
+use giallar_core::backend::BackendSelection;
+use giallar_core::json::Value;
+use giallar_core::mutate::{
+    run_campaign, run_pipeline_campaign, CampaignConfig, CampaignReport, OperatorFamily,
+    PipelineInput, PipelineOutcome,
+};
+
+/// The canonical campaign seed: `giallar fuzz`'s default spelling
+/// `0xg1allar` (not valid hex, hashed deterministically by
+/// [`giallar_core::mutate::parse_seed`]).
+pub const CAMPAIGN_SEED: &str = "0xg1allar";
+
+/// The device every pipeline-campaign input is compiled for.
+pub const PIPELINE_DEVICE: &str = "line:6";
+
+/// Compiler seed for the pipeline campaign (matches the Figure 11 rows).
+pub const PIPELINE_SEED: u64 = 11;
+
+/// The full bug-detection result: registry campaign plus the end-to-end
+/// pipeline campaign.
+pub struct BugDetection {
+    /// The registry (obligation-level) campaign report.
+    pub report: CampaignReport,
+    /// The end-to-end pipeline sabotage outcomes.
+    pub pipeline: Vec<PipelineOutcome>,
+}
+
+impl BugDetection {
+    /// Surviving *semantic* wounds across both layers: registry mutants
+    /// not refuted by both backends, plus semantically corrupted
+    /// compilations whose certificates were not refused.
+    pub fn survivors(&self) -> usize {
+        self.report.survivors().len()
+            + self.pipeline.iter().filter(|o| o.semantic && !o.detected).count()
+    }
+}
+
+/// The QASMBench inputs of the pipeline campaign (the `giallar-core` crate
+/// cannot depend on `qasmbench`, so inputs are supplied here).
+pub fn pipeline_inputs() -> Vec<PipelineInput> {
+    vec![
+        PipelineInput { name: "bell".to_string(), circuit: qasmbench::bell() },
+        PipelineInput { name: "ghz4".to_string(), circuit: qasmbench::ghz(4) },
+        PipelineInput { name: "qft3".to_string(), circuit: qasmbench::qft(3) },
+    ]
+}
+
+/// Runs both campaign layers with the canonical configuration.  `seed` is
+/// the parsed registry-campaign seed; `max_mutants` bounds the corpus for
+/// sampled runs (`None` in CI and the committed artifact).
+pub fn bug_detection_campaign(seed: u64, max_mutants: Option<usize>) -> BugDetection {
+    let report = run_campaign(&CampaignConfig { seed, max_mutants, pass_filter: None });
+    let pipeline = run_pipeline_campaign(
+        &pipeline_inputs(),
+        PIPELINE_DEVICE,
+        PIPELINE_SEED,
+        BackendSelection::Default,
+    );
+    BugDetection { report, pipeline }
+}
+
+/// Per-family aggregate of the registry campaign.
+struct FamilyRow {
+    family: OperatorFamily,
+    mutants: usize,
+    detected: usize,
+    precise: usize,
+    mean_refute_seconds: f64,
+}
+
+fn family_rows(report: &CampaignReport) -> Vec<FamilyRow> {
+    let mut rows: BTreeMap<OperatorFamily, FamilyRow> = BTreeMap::new();
+    for outcome in &report.outcomes {
+        let row = rows.entry(outcome.family).or_insert(FamilyRow {
+            family: outcome.family,
+            mutants: 0,
+            detected: 0,
+            precise: 0,
+            mean_refute_seconds: 0.0,
+        });
+        row.mutants += 1;
+        row.detected += usize::from(outcome.detected);
+        row.precise += usize::from(outcome.precise);
+        let per_mutant: f64 = outcome.runs.iter().map(|r| r.time_seconds).sum::<f64>()
+            / outcome.runs.len().max(1) as f64;
+        row.mean_refute_seconds += per_mutant;
+    }
+    let mut out: Vec<FamilyRow> = rows.into_values().collect();
+    for row in &mut out {
+        row.mean_refute_seconds /= row.mutants.max(1) as f64;
+    }
+    out
+}
+
+/// The canonical bug-detection artifact (`BENCH_bug_detection.json`).
+pub fn bug_detection_artifact_json(result: &BugDetection, include_timings: bool) -> String {
+    let report = &result.report;
+    let families: Vec<Value> = family_rows(report)
+        .iter()
+        .map(|row| {
+            let mut members = vec![
+                ("family", Value::String(row.family.name().to_string())),
+                ("mutants", Value::Int(row.mutants as i64)),
+                ("detected", Value::Int(row.detected as i64)),
+                ("precise", Value::Int(row.precise as i64)),
+            ];
+            if include_timings {
+                members.push((
+                    "timing",
+                    Value::object(vec![(
+                        "mean_refute_seconds",
+                        Value::Float(row.mean_refute_seconds),
+                    )]),
+                ));
+            }
+            Value::object(members)
+        })
+        .collect();
+    let mutants: Vec<Value> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            Value::object(vec![
+                ("id", Value::Int(o.id as i64)),
+                ("pass", Value::String(o.pass.to_string())),
+                ("family", Value::String(o.family.name().to_string())),
+                ("obligation", Value::String(o.obligation.clone())),
+                ("site", Value::String(o.site.clone())),
+                ("detected", Value::Bool(o.detected)),
+                ("localized", Value::Bool(o.localized)),
+                ("precise", Value::Bool(o.precise)),
+            ])
+        })
+        .collect();
+    let pipeline: Vec<Value> = result
+        .pipeline
+        .iter()
+        .map(|o| {
+            Value::object(vec![
+                ("circuit", Value::String(o.circuit.clone())),
+                ("fault", Value::String(o.fault.clone())),
+                ("semantic", Value::Bool(o.semantic)),
+                ("refused", Value::Bool(o.refused)),
+                ("detected", Value::Bool(o.detected)),
+            ])
+        })
+        .collect();
+    let pipeline_semantic = result.pipeline.iter().filter(|o| o.semantic).count();
+    let pipeline_detected = result.pipeline.iter().filter(|o| o.detected).count();
+    Value::object(vec![
+        ("benchmark", Value::String("bug_detection".to_string())),
+        ("schema", Value::String("giallar-bench/v2".to_string())),
+        ("seed", Value::String(CAMPAIGN_SEED.to_string())),
+        ("passes", Value::Int(44)),
+        (
+            "rule_library_fingerprint",
+            Value::String(qc_symbolic::rule_library_fingerprint().to_hex()),
+        ),
+        (
+            "summary",
+            Value::object(vec![
+                ("mutants", Value::Int(report.total() as i64)),
+                ("detected", Value::Int(report.detected() as i64)),
+                ("detection_rate", Value::Float(report.detection_rate())),
+                ("explanation_quality", Value::Float(report.explanation_quality())),
+                ("skipped_equivalent", Value::Int(report.skipped_equivalent as i64)),
+                ("skipped_unknown", Value::Int(report.skipped_unknown as i64)),
+                ("operator_families", Value::Int(report.families().len() as i64)),
+            ]),
+        ),
+        ("families", Value::Array(families)),
+        (
+            "pipeline",
+            Value::object(vec![
+                ("device", Value::String(PIPELINE_DEVICE.to_string())),
+                ("compile_seed", Value::Int(PIPELINE_SEED as i64)),
+                ("faults", Value::Int(result.pipeline.len() as i64)),
+                ("semantic", Value::Int(pipeline_semantic as i64)),
+                ("detected", Value::Int(pipeline_detected as i64)),
+                ("rows", Value::Array(pipeline)),
+            ]),
+        ),
+        ("mutants", Value::Array(mutants)),
+    ])
+    .to_pretty()
+}
+
+/// Renders the campaign as a text table (the `giallar fuzz --format table`
+/// output).
+pub fn bug_detection_text(result: &BugDetection) -> String {
+    let report = &result.report;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<22} {:>8} {:>9} {:>8} {:>18}\n",
+        "operator family", "mutants", "detected", "precise", "mean refute (s)"
+    ));
+    for row in family_rows(report) {
+        out.push_str(&format!(
+            "{:<22} {:>8} {:>9} {:>8} {:>18.6}\n",
+            row.family.name(),
+            row.mutants,
+            row.detected,
+            row.precise,
+            row.mean_refute_seconds
+        ));
+    }
+    out.push_str(&format!(
+        "\nregistry: {}/{} mutants refuted by both backends ({:.1}% detection, {:.1}% precise \
+         localization); {} equivalent and {} undecidable candidates screened out\n",
+        report.detected(),
+        report.total(),
+        report.detection_rate() * 100.0,
+        report.explanation_quality() * 100.0,
+        report.skipped_equivalent,
+        report.skipped_unknown,
+    ));
+    let semantic = result.pipeline.iter().filter(|o| o.semantic).count();
+    let detected = result.pipeline.iter().filter(|o| o.detected).count();
+    out.push_str(&format!(
+        "pipeline: {detected}/{semantic} semantic compilation faults refused by check-cert \
+         ({} injected in total)\n",
+        result.pipeline.len()
+    ));
+    for o in &result.pipeline {
+        if o.semantic && !o.detected {
+            out.push_str(&format!("  SURVIVOR: {} / {}\n", o.circuit, o.fault));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use giallar_core::mutate::parse_seed;
+
+    #[test]
+    fn sampled_artifact_is_deterministic_and_timing_gated() {
+        let result = bug_detection_campaign(parse_seed(CAMPAIGN_SEED), Some(12));
+        assert_eq!(result.report.total(), 12);
+        assert_eq!(result.survivors(), 0, "sampled campaign has survivors");
+
+        let bare = bug_detection_artifact_json(&result, false);
+        assert!(!bare.contains("_seconds"));
+        let timed = bug_detection_artifact_json(&result, true);
+        let bare_doc = giallar_core::json::parse(&bare).unwrap();
+        let timed_doc = giallar_core::json::parse(&timed).unwrap();
+        assert_eq!(crate::strip_timing(&timed_doc), crate::strip_timing(&bare_doc));
+        assert_eq!(crate::strip_timing(&bare_doc), bare_doc);
+
+        let text = bug_detection_text(&result);
+        assert!(text.contains("registry:"));
+        assert!(text.contains("pipeline:"));
+        assert!(!text.contains("SURVIVOR"));
+    }
+
+    #[test]
+    fn pipeline_campaign_refuses_semantic_sabotage() {
+        let outcomes = run_pipeline_campaign(
+            &pipeline_inputs()[..1],
+            PIPELINE_DEVICE,
+            PIPELINE_SEED,
+            BackendSelection::Default,
+        );
+        assert!(!outcomes.is_empty());
+        let semantic: Vec<_> = outcomes.iter().filter(|o| o.semantic).collect();
+        assert!(!semantic.is_empty(), "no sabotage was semantic");
+        for o in semantic {
+            assert!(o.detected, "undetected pipeline fault: {} / {}", o.circuit, o.fault);
+        }
+    }
+}

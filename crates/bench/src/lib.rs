@@ -6,8 +6,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bug_detection;
 pub mod serve_latency;
 
+pub use bug_detection::{
+    bug_detection_artifact_json, bug_detection_campaign, bug_detection_text, pipeline_inputs,
+    BugDetection, CAMPAIGN_SEED,
+};
 pub use serve_latency::{
     serve_latency_artifact_json, serve_latency_rows, serve_latency_text, ServeLatencyRow,
 };

@@ -3,14 +3,15 @@
 //!
 //! Emits `BENCH_table2_verification.json`,
 //! `BENCH_figure11_compilation.json`, `BENCH_solver_microbench.json`,
-//! `BENCH_serve_latency.json`, and `BENCH_certify_overhead.json` through
-//! the same writers the Criterion harness uses
-//! (`bench::table2_artifact_json` / `bench::figure11_artifact_json` /
+//! `BENCH_serve_latency.json`, `BENCH_certify_overhead.json`, and
+//! `BENCH_bug_detection.json` through the same writers the Criterion
+//! harness and the `fuzz` subcommand use (`bench::table2_artifact_json` /
+//! `bench::figure11_artifact_json` /
 //! `bench::solver_microbench_artifact_json` /
-//! `bench::serve_latency_artifact_json` / `bench::certify_artifact_json`),
-//! so the committed artifacts and the bench harness cannot drift.  Output
-//! is deterministic by default — machine-dependent timing sections are
-//! added only with `--timings`.
+//! `bench::serve_latency_artifact_json` / `bench::certify_artifact_json` /
+//! `bench::bug_detection_artifact_json`), so the committed artifacts and
+//! the bench harness cannot drift.  Output is deterministic by default —
+//! machine-dependent timing sections are added only with `--timings`.
 //!
 //! With `--check <dir>` nothing is written: the artifacts are regenerated in
 //! memory and compared structurally against the committed files in `<dir>`,
@@ -21,11 +22,13 @@
 use std::path::{Path, PathBuf};
 
 use bench::{
-    certify_artifact_json, certify_rows, figure11_artifact_json, figure11_rows,
-    measure_verification_speedup, serve_latency_artifact_json, serve_latency_rows,
-    solver_microbench_artifact_json, solver_microbench_rows, strip_timing, table2_reports,
+    bug_detection_artifact_json, bug_detection_campaign, certify_artifact_json, certify_rows,
+    figure11_artifact_json, figure11_rows, measure_verification_speedup,
+    serve_latency_artifact_json, serve_latency_rows, solver_microbench_artifact_json,
+    solver_microbench_rows, strip_timing, table2_reports, CAMPAIGN_SEED,
 };
 use giallar_core::json;
+use giallar_core::mutate::parse_seed;
 use qc_ir::CouplingMap;
 
 use crate::{value_of, CmdError, CmdResult};
@@ -84,12 +87,16 @@ pub fn run(args: &[String]) -> CmdResult {
     let certify = certify_rows(&device, "falcon27", seed);
     let certify_overhead = certify_artifact_json("falcon27", seed, &certify, timings);
 
-    let artifacts: [(&str, &str); 5] = [
+    let campaign = bug_detection_campaign(parse_seed(CAMPAIGN_SEED), None);
+    let bug_detection = bug_detection_artifact_json(&campaign, timings);
+
+    let artifacts: [(&str, &str); 6] = [
         ("BENCH_table2_verification.json", table2.as_str()),
         ("BENCH_figure11_compilation.json", figure11.as_str()),
         ("BENCH_solver_microbench.json", microbench.as_str()),
         ("BENCH_serve_latency.json", serve_latency.as_str()),
         ("BENCH_certify_overhead.json", certify_overhead.as_str()),
+        ("BENCH_bug_detection.json", bug_detection.as_str()),
     ];
 
     if let Some(dir) = check_dir {
@@ -107,12 +114,14 @@ pub fn run(args: &[String]) -> CmdResult {
     }
     println!(
         "table2: {} passes, {verified} verified; figure11: {} circuits; microbench: {} \
-         workloads; serve: {} scenarios; certify: {} certificates",
+         workloads; serve: {} scenarios; certify: {} certificates; fuzz: {}/{} mutants detected",
         reports.len(),
         rows.len(),
         micro_rows.len(),
         serve_rows.len(),
-        certify.len()
+        certify.len(),
+        campaign.report.detected(),
+        campaign.report.total()
     );
 
     if verified != reports.len() {

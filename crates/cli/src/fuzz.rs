@@ -1,0 +1,80 @@
+//! `giallar fuzz` — the fault-injection campaign.
+//!
+//! Enumerates mutants of the registry's proof obligations, discharges each
+//! through both solver backends, sabotages real compilations through the
+//! certificate checker, and exits nonzero if any semantic wound survives.
+
+use bench::{bug_detection_artifact_json, bug_detection_text, BugDetection, CAMPAIGN_SEED};
+use giallar_core::backend::BackendSelection;
+use giallar_core::mutate::{parse_seed, run_campaign, run_pipeline_campaign, CampaignConfig};
+
+use crate::{parse_count, value_of, CmdError, CmdResult};
+
+/// Runs `giallar fuzz` with the args after the subcommand name.
+pub fn run(args: &[String]) -> CmdResult {
+    let mut seed_text = CAMPAIGN_SEED.to_string();
+    let mut max_mutants = None;
+    let mut pass_filter: Option<String> = None;
+    let mut format = "table".to_string();
+    let mut timings = false;
+    let mut pipeline = true;
+
+    let mut index = 0;
+    while index < args.len() {
+        match args[index].as_str() {
+            "--seed" => seed_text = value_of(args, &mut index, "--seed")?,
+            "--mutants" => {
+                let value = value_of(args, &mut index, "--mutants")?;
+                max_mutants = Some(parse_count(&value, "--mutants")?);
+            }
+            "--pass" => pass_filter = Some(value_of(args, &mut index, "--pass")?),
+            "--format" => format = value_of(args, &mut index, "--format")?,
+            "--timings" => timings = true,
+            "--no-pipeline" => pipeline = false,
+            other => return Err(CmdError::Usage(format!("fuzz: unknown flag `{other}`"))),
+        }
+        index += 1;
+    }
+    if format != "table" && format != "json" {
+        return Err(CmdError::Usage(format!("fuzz: unknown format `{format}`")));
+    }
+
+    let seed = parse_seed(&seed_text);
+    if let Some(filter) = &pass_filter {
+        if !giallar_core::registry::verified_passes().iter().any(|p| p.name == *filter) {
+            return Err(CmdError::Usage(format!("fuzz: unknown pass `{filter}`")));
+        }
+        // A single-pass campaign has no meaningful pipeline leg.
+        pipeline = false;
+    }
+
+    let report =
+        run_campaign(&CampaignConfig { seed, max_mutants, pass_filter: pass_filter.clone() });
+    let pipeline_outcomes = if pipeline {
+        run_pipeline_campaign(
+            &bench::pipeline_inputs(),
+            bench::bug_detection::PIPELINE_DEVICE,
+            bench::bug_detection::PIPELINE_SEED,
+            BackendSelection::Default,
+        )
+    } else {
+        Vec::new()
+    };
+    let result = BugDetection { report, pipeline: pipeline_outcomes };
+
+    match format.as_str() {
+        "json" => println!("{}", bug_detection_artifact_json(&result, timings)),
+        _ => print!("{}", bug_detection_text(&result)),
+    }
+
+    let survivors = result.survivors();
+    if survivors > 0 {
+        return Err(CmdError::Failed(format!(
+            "{survivors} mutant(s) survived the campaign (seed {seed_text})"
+        )));
+    }
+    if result.report.total() == 0 {
+        return Err(CmdError::Failed("campaign enumerated no mutants".to_string()));
+    }
+    Ok(())
+}

@@ -16,6 +16,10 @@
 //!   serve-latency JSON artifacts (the committed `BENCH_*.json` files), or
 //!   drift-check them against a directory with `--check` (timing fields
 //!   ignored).
+//! * `giallar fuzz` — the fault-injection campaign: systematically wound
+//!   the registry's proof obligations and real compilations, and fail
+//!   unless the verifier refutes every wound (the `BENCH_bug_detection`
+//!   artifact is this campaign's JSON output).
 //! * `giallar serve` — run the resident verification daemon: registry
 //!   obligations and solver state stay warm behind a socket, requests batch
 //!   by goal class, and verdicts live in a sharded LRU/TTL cache.
@@ -31,6 +35,7 @@ mod check_cert;
 mod client_cmd;
 mod compile;
 mod flags;
+mod fuzz;
 mod serve_cmd;
 mod verify;
 
@@ -106,6 +111,17 @@ SUBCOMMANDS:
         --check <dir>          write nothing; compare regenerated artifacts
                                against the committed files in <dir>, ignoring
                                timing fields (nonzero exit on drift)
+    fuzz       run the fault-injection campaign: wound every falsifiable
+                               registry obligation, require both backends to
+                               refute each wound, and sabotage real
+                               compilations through check-cert
+        --seed <s>             campaign seed: decimal, 0x-hex, or any string
+                               (hashed); default 0xg1allar
+        --mutants <n>          bound the mutant corpus (default: all)
+        --pass <name>          wound a single pass (skips the pipeline leg)
+        --format <fmt>         table (default) | json (the BENCH artifact)
+        --timings              include machine-dependent timing sections
+        --no-pipeline          skip the end-to-end sabotage leg
     serve      run the resident verification daemon (giallar-serve/v2;
                                bare v1 client lines still served)
         --listen <spec>        TCP address (default 127.0.0.1:7411) or
@@ -154,6 +170,7 @@ fn main() -> ExitCode {
         Some("compile") => compile::run(&args[1..]),
         Some("check-cert") => check_cert::run(&args[1..]),
         Some("bench") => bench_cmd::run(&args[1..]),
+        Some("fuzz") => fuzz::run(&args[1..]),
         Some("serve") => serve_cmd::run(&args[1..]),
         Some("client") => client_cmd::run(&args[1..]),
         Some("--help") | Some("-h") | Some("help") => {

@@ -58,7 +58,7 @@
 //! other layer hard-codes a discharge strategy.
 
 use qc_symbolic::{EquivalenceChecker, SymCircuit, SymbolicExecutor, Verdict, WireEvidence};
-use smtlite::{reference_normalize, Context, Formula, RewriteRule};
+use smtlite::{reference_normalize, Context, FaultSite, Formula, RewriteRule};
 
 use crate::obligation::Goal;
 
@@ -172,20 +172,20 @@ pub trait SolverBackend: Send {
 fn validate_wire_map(lhs: &SymCircuit, rhs: &SymCircuit, wire_map: &[usize]) -> Option<Verdict> {
     let width = lhs.num_qubits().max(rhs.num_qubits());
     if wire_map.len() != width {
-        return Some(Verdict::Refuted {
-            explanation: format!(
+        return Some(Verdict::refuted_at(
+            format!(
                 "wire map covers {} qubits but the circuits span {width} \
                  and the register has {width}",
                 wire_map.len(),
             ),
-        });
+            FaultSite::WireMap { entry: None, len: wire_map.len() },
+        ));
     }
     if let Some(&bad) = wire_map.iter().find(|&&w| w >= width) {
-        return Some(Verdict::Refuted {
-            explanation: format!(
-                "wire map sends a qubit to wire {bad}, outside the {width}-qubit register"
-            ),
-        });
+        return Some(Verdict::refuted_at(
+            format!("wire map sends a qubit to wire {bad}, outside the {width}-qubit register"),
+            FaultSite::WireMap { entry: Some(bad), len: wire_map.len() },
+        ));
     }
     None
 }
@@ -313,7 +313,10 @@ impl SolverBackend for ArithBackend {
                 let consumed_term = ctx.arena_mut().int(*consumed as i64);
                 let new_len = ctx.arena_mut().app("+", vec![rest, kept_term]);
                 let old_len = ctx.arena_mut().app("+", vec![rest, consumed_term]);
-                ctx.check(&Formula::Lt(new_len, old_len))
+                ctx.check(&Formula::Lt(new_len, old_len)).with_site(FaultSite::Termination {
+                    consumed: *consumed as i64,
+                    kept: *kept as i64,
+                })
             }
             other => Verdict::Unknown {
                 reason: format!(
@@ -432,13 +435,14 @@ impl ReferenceBackend {
             let na = reference_normalize(arena, rules, a);
             let nb = reference_normalize(arena, rules, b);
             if na != nb {
-                return Verdict::Refuted {
-                    explanation: format!(
+                return Verdict::refuted_at(
+                    format!(
                         "qubit {logical} differs: terms have distinct normal forms: `{}` vs `{}`",
                         arena.display(na),
                         arena.display(nb)
                     ),
-                };
+                    FaultSite::Wire { wire: logical },
+                );
             }
         }
         Verdict::Proved
@@ -517,14 +521,15 @@ impl SolverBackend for ReferenceBackend {
                 agreed: na == nb,
             });
             if verdict.is_proved() && na != nb {
-                verdict = Verdict::Refuted {
-                    explanation: format!(
+                verdict = Verdict::refuted_at(
+                    format!(
                         "qubit {logical} differs: terms have distinct normal forms: \
                          `{}` vs `{}`",
                         arena.display(na),
                         arena.display(nb)
                     ),
-                };
+                    FaultSite::Wire { wire: logical },
+                );
             }
         }
         Some((verdict, evidence))

@@ -31,7 +31,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use smtlite::{Fingerprint, FingerprintBuilder, Verdict};
+use smtlite::{FaultSite, Fingerprint, FingerprintBuilder, Verdict};
 
 use crate::json::{self, Value};
 use crate::obligation::ProofObligation;
@@ -79,6 +79,9 @@ pub enum CachedVerdict {
     Refuted {
         /// The solver's counterexample description.
         explanation: String,
+        /// Structured fault coordinates, when the discharging layer could
+        /// localise the failure (see [`smtlite::FaultSite`]).
+        site: Option<FaultSite>,
     },
     /// The solver could not decide the obligation.
     Unknown {
@@ -92,8 +95,8 @@ impl CachedVerdict {
     pub fn from_verdict(verdict: &Verdict) -> Self {
         match verdict {
             Verdict::Proved => CachedVerdict::Proved,
-            Verdict::Refuted { explanation } => {
-                CachedVerdict::Refuted { explanation: explanation.clone() }
+            Verdict::Refuted { explanation, site } => {
+                CachedVerdict::Refuted { explanation: explanation.clone(), site: *site }
             }
             Verdict::Unknown { reason } => CachedVerdict::Unknown { reason: reason.clone() },
         }
@@ -103,8 +106,8 @@ impl CachedVerdict {
     pub fn to_verdict(&self) -> Verdict {
         match self {
             CachedVerdict::Proved => Verdict::Proved,
-            CachedVerdict::Refuted { explanation } => {
-                Verdict::Refuted { explanation: explanation.clone() }
+            CachedVerdict::Refuted { explanation, site } => {
+                Verdict::Refuted { explanation: explanation.clone(), site: *site }
             }
             CachedVerdict::Unknown { reason } => Verdict::Unknown { reason: reason.clone() },
         }
@@ -120,10 +123,16 @@ impl CachedVerdict {
             CachedVerdict::Proved => {
                 Value::object(vec![("verdict", Value::String("proved".to_string()))])
             }
-            CachedVerdict::Refuted { explanation } => Value::object(vec![
-                ("verdict", Value::String("refuted".to_string())),
-                ("explanation", Value::String(explanation.clone())),
-            ]),
+            CachedVerdict::Refuted { explanation, site } => {
+                let mut members = vec![
+                    ("verdict", Value::String("refuted".to_string())),
+                    ("explanation", Value::String(explanation.clone())),
+                ];
+                if let Some(site) = site {
+                    members.push(("site", fault_site_to_json(site)));
+                }
+                Value::object(members)
+            }
             CachedVerdict::Unknown { reason } => Value::object(vec![
                 ("verdict", Value::String("unknown".to_string())),
                 ("reason", Value::String(reason.clone())),
@@ -142,6 +151,10 @@ impl CachedVerdict {
                     .and_then(Value::as_str)
                     .ok_or("cache entry: refuted without `explanation`")?
                     .to_string(),
+                site: match value.get("site") {
+                    None | Some(Value::Null) => None,
+                    Some(site) => Some(fault_site_from_json(site)?),
+                },
             }),
             "unknown" => Ok(CachedVerdict::Unknown {
                 reason: value
@@ -152,6 +165,60 @@ impl CachedVerdict {
             }),
             other => Err(format!("cache entry: bad verdict `{other}`")),
         }
+    }
+}
+
+/// Renders a structured fault site as a JSON object (`{"kind": ...}`).
+/// Serialized only on refuted entries that carry a site, so caches and
+/// certificates written before sites existed — and all proved entries —
+/// keep their bytes.
+pub fn fault_site_to_json(site: &FaultSite) -> Value {
+    match site {
+        FaultSite::Wire { wire } => Value::object(vec![
+            ("kind", Value::String("wire".to_string())),
+            ("wire", Value::Int(*wire as i64)),
+        ]),
+        FaultSite::WireMap { entry, len } => Value::object(vec![
+            ("kind", Value::String("wire-map".to_string())),
+            ("entry", entry.map_or(Value::Null, |e| Value::Int(e as i64))),
+            ("len", Value::Int(*len as i64)),
+        ]),
+        FaultSite::Termination { consumed, kept } => Value::object(vec![
+            ("kind", Value::String("termination".to_string())),
+            ("consumed", Value::Int(*consumed)),
+            ("kept", Value::Int(*kept)),
+        ]),
+    }
+}
+
+/// Parses a fault site rendered by [`fault_site_to_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first malformed or missing member.
+pub fn fault_site_from_json(value: &Value) -> Result<FaultSite, String> {
+    let kind = value.get("kind").and_then(Value::as_str).ok_or("fault site: missing `kind`")?;
+    let int = |name: &str| -> Result<i64, String> {
+        value
+            .get(name)
+            .and_then(Value::as_int)
+            .ok_or_else(|| format!("fault site: missing `{name}`"))
+    };
+    match kind {
+        "wire" => Ok(FaultSite::Wire { wire: int("wire")? as usize }),
+        "wire-map" => Ok(FaultSite::WireMap {
+            entry: match value.get("entry") {
+                None | Some(Value::Null) => None,
+                Some(entry) => {
+                    Some(entry.as_int().ok_or("fault site: non-integer `entry`")? as usize)
+                }
+            },
+            len: int("len")? as usize,
+        }),
+        "termination" => {
+            Ok(FaultSite::Termination { consumed: int("consumed")?, kept: int("kept")? })
+        }
+        other => Err(format!("fault site: bad kind `{other}`")),
     }
 }
 
@@ -435,6 +502,7 @@ mod tests {
             Fingerprint(7),
             CachedVerdict::Refuted {
                 explanation: "branch \"x\": counterexample\nwire 0".to_string(),
+                site: Some(FaultSite::Wire { wire: 0 }),
             },
         );
         cache.record(Fingerprint(9), CachedVerdict::Unknown { reason: "gave up".to_string() });

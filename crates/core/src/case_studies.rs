@@ -35,7 +35,7 @@ pub fn optimize_1q_case_study() -> CaseStudy {
     let mut bug_detected = false;
     let mut evidence = String::new();
     for obligation in &buggy {
-        if let qc_symbolic::Verdict::Refuted { explanation } = discharge(&obligation.goal) {
+        if let qc_symbolic::Verdict::Refuted { explanation, .. } = discharge(&obligation.goal) {
             bug_detected = true;
             evidence = format!("{}: {explanation}", obligation.description);
             break;
@@ -57,7 +57,7 @@ pub fn commutation_case_study() -> CaseStudy {
     let mut bug_detected = false;
     let mut evidence = String::new();
     for obligation in &buggy {
-        if let qc_symbolic::Verdict::Refuted { explanation } = discharge(&obligation.goal) {
+        if let qc_symbolic::Verdict::Refuted { explanation, .. } = discharge(&obligation.goal) {
             bug_detected = true;
             evidence = format!("{}: {explanation}", obligation.description);
             break;
@@ -85,7 +85,7 @@ pub fn lookahead_termination_case_study() -> CaseStudy {
     let verdict = discharge(&Goal::TerminationDecrease { consumed: 0, kept: 0 });
     let mut bug_detected = verdict.is_refuted();
     let mut evidence = match verdict {
-        qc_symbolic::Verdict::Refuted { explanation } => {
+        qc_symbolic::Verdict::Refuted { explanation, .. } => {
             format!("termination subgoal fails: {explanation}")
         }
         other => format!("unexpected verdict {other:?}"),

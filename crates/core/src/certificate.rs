@@ -242,7 +242,7 @@ pub fn certify_compilation(
     registry.prewarm(register_width);
     let (verdict, evidence) = registry.discharge_with_evidence(&goal);
     let verdict = match verify_pipeline_passes(pipeline, selection) {
-        Some(failure) => CachedVerdict::Refuted { explanation: failure },
+        Some(failure) => CachedVerdict::Refuted { explanation: failure, site: None },
         None => CachedVerdict::from_verdict(&verdict),
     };
     EquivalenceCertificate {
@@ -693,7 +693,7 @@ mod tests {
         assert!(error.contains("evidence does not match"), "{error}");
 
         let mut tampered = cert.clone();
-        tampered.verdict = CachedVerdict::Refuted { explanation: "forged".to_string() };
+        tampered.verdict = CachedVerdict::Refuted { explanation: "forged".to_string(), site: None };
         assert!(check_certificate(&tampered).unwrap_err().contains("verdict mismatch"));
     }
 

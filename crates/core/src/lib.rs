@@ -76,6 +76,7 @@ pub mod case_studies;
 pub mod certificate;
 pub mod json;
 pub mod library;
+pub mod mutate;
 pub mod obligation;
 pub mod registry;
 pub mod serialize;
@@ -91,6 +92,11 @@ pub use cache::{
 pub use certificate::{
     certify_compilation, check_certificate, circuit_fingerprint, end_to_end_wire_map,
     EquivalenceCertificate, CERT_SCHEMA,
+};
+pub use mutate::{
+    enumerate_mutants, parse_seed, run_campaign, run_pipeline_campaign, BackendRun, CampaignConfig,
+    CampaignReport, Expectation, Mutant, MutantEnumeration, MutantOutcome, OperatorFamily,
+    PipelineInput, PipelineOutcome,
 };
 pub use obligation::{Goal, PassClass, ProofObligation};
 pub use registry::{verified_passes, VerifiedPass};

@@ -610,13 +610,15 @@ mod tests {
     fn import_and_export_round_trip_through_the_persistent_cache() {
         let mut persistent = VerdictCache::new();
         persistent.record(Fingerprint(7), CachedVerdict::Proved);
-        persistent
-            .record(Fingerprint(8), CachedVerdict::Refuted { explanation: "wire 0".to_string() });
+        persistent.record(
+            Fingerprint(8),
+            CachedVerdict::Refuted { explanation: "wire 0".to_string(), site: None },
+        );
         let sharded = ShardedVerdictCache::from_cache(&persistent, 4, EvictionPolicy::unbounded());
         assert_eq!(sharded.len(), 2);
         assert_eq!(
             sharded.peek(Fingerprint(8)),
-            Some(CachedVerdict::Refuted { explanation: "wire 0".to_string() })
+            Some(CachedVerdict::Refuted { explanation: "wire 0".to_string(), site: None })
         );
         // Imported entries carry no backend provenance: backend compaction
         // never touches them, library compaction would.

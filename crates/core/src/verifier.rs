@@ -180,7 +180,7 @@ fn fold_verdict(
 ) -> bool {
     match verdict {
         Verdict::Proved => true,
-        Verdict::Refuted { explanation } => {
+        Verdict::Refuted { explanation, .. } => {
             *verified = false;
             *failure = Some(format!("{description}: {explanation}"));
             false
@@ -226,7 +226,7 @@ pub struct VerdictFold {
 ///
 /// let verdicts = vec![
 ///     (Verdict::Proved, "branch 0".to_string()),
-///     (Verdict::Refuted { explanation: "wire 1 flipped".to_string() }, "branch 1".to_string()),
+///     (Verdict::refuted("wire 1 flipped"), "branch 1".to_string()),
 ///     (Verdict::Proved, "never reached".to_string()),
 /// ];
 /// let fold = fold_verdict_stream(verdicts);

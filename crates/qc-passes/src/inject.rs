@@ -1,0 +1,206 @@
+//! Fault injection for the end-to-end mutation campaign.
+//!
+//! [`SabotagePass`] is a transpiler pass that deliberately corrupts the
+//! compilation it is appended to: it models a buggy pass slipping into the
+//! pipeline after the verified schedule has run.  The campaign driver in
+//! `giallar-core::mutate` appends one to the standard pipeline and asserts
+//! that `compile --certify` + `check-cert` refuse the resulting
+//! certificate.  It is exported (rather than hidden behind `cfg(test)`)
+//! because the `giallar fuzz` CLI and the benchmark artifact both replay
+//! the same fault matrix.
+
+use qc_ir::{DagCircuit, GateKind, Layout, QcError};
+
+use crate::pass::{PropertySet, TranspilerPass};
+
+/// One deliberate corruption of a compilation result.
+///
+/// Gate indices are taken modulo the circuit's gate count so the same
+/// fault matrix applies to circuits of any size; a fault that lands on an
+/// empty circuit degenerates to a no-op and is classified as non-semantic
+/// by the campaign driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineFault {
+    /// Remove the gate at `index` (mod gate count).
+    DropGate {
+        /// Index of the gate to remove.
+        index: usize,
+    },
+    /// Emit the gate at `index` (mod gate count) twice.
+    DuplicateGate {
+        /// Index of the gate to duplicate.
+        index: usize,
+    },
+    /// Swap the gates at `index` and `index + 1` (mod gate count).
+    SwapAdjacentGates {
+        /// Index of the first gate of the swapped pair.
+        index: usize,
+    },
+    /// Reverse the operands of the `nth` CX gate (mod CX count).
+    FlipCxDirection {
+        /// Ordinal of the CX gate to flip.
+        nth: usize,
+    },
+    /// Swap physical wires `a` and `b` in the final layout without
+    /// touching the circuit (the routing bookkeeping lies about where the
+    /// qubits ended up).
+    CorruptFinalLayout {
+        /// First physical wire.
+        a: usize,
+        /// Second physical wire.
+        b: usize,
+    },
+}
+
+impl PipelineFault {
+    /// A short human-readable description (used in reports and artifacts).
+    pub fn describe(&self) -> String {
+        match self {
+            PipelineFault::DropGate { index } => format!("drop gate {index}"),
+            PipelineFault::DuplicateGate { index } => format!("duplicate gate {index}"),
+            PipelineFault::SwapAdjacentGates { index } => {
+                format!("swap gates {index},{}", index + 1)
+            }
+            PipelineFault::FlipCxDirection { nth } => format!("flip direction of cx #{nth}"),
+            PipelineFault::CorruptFinalLayout { a, b } => {
+                format!("corrupt final layout (swap physical {a},{b})")
+            }
+        }
+    }
+}
+
+/// A transpiler pass that injects one [`PipelineFault`] into the
+/// compilation flowing through it.
+#[derive(Debug, Clone)]
+pub struct SabotagePass {
+    fault: PipelineFault,
+}
+
+impl SabotagePass {
+    /// Creates a sabotage pass injecting `fault`.
+    pub fn new(fault: PipelineFault) -> Self {
+        SabotagePass { fault }
+    }
+}
+
+impl TranspilerPass for SabotagePass {
+    fn name(&self) -> &'static str {
+        "SabotageInjection"
+    }
+
+    fn run(&self, dag: &mut DagCircuit, props: &mut PropertySet) -> Result<(), QcError> {
+        if let PipelineFault::CorruptFinalLayout { a, b } = self.fault {
+            let circuit = dag.to_circuit()?;
+            let n = circuit.num_qubits();
+            if n < 2 {
+                return Ok(());
+            }
+            let (a, b) = (a % n, b % n);
+            if a == b {
+                return Ok(());
+            }
+            let mut layout = props.final_layout.take().unwrap_or_else(|| Layout::trivial(n));
+            layout.swap_physical(a, b);
+            props.final_layout = Some(layout);
+            return Ok(());
+        }
+        let circuit = dag.to_circuit()?;
+        let mut gates: Vec<_> = circuit.gates().to_vec();
+        if gates.is_empty() {
+            return Ok(());
+        }
+        match self.fault {
+            PipelineFault::DropGate { index } => {
+                let at = index % gates.len();
+                gates.remove(at);
+            }
+            PipelineFault::DuplicateGate { index } => {
+                let at = index % gates.len();
+                let clone = gates[at].clone();
+                gates.insert(at + 1, clone);
+            }
+            PipelineFault::SwapAdjacentGates { index } => {
+                if gates.len() >= 2 {
+                    let at = index % (gates.len() - 1);
+                    gates.swap(at, at + 1);
+                }
+            }
+            PipelineFault::FlipCxDirection { nth } => {
+                let cx_positions: Vec<usize> = gates
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, g)| g.kind == GateKind::CX)
+                    .map(|(i, _)| i)
+                    .collect();
+                if cx_positions.is_empty() {
+                    return Ok(());
+                }
+                let at = cx_positions[nth % cx_positions.len()];
+                gates[at].qubits.reverse();
+            }
+            PipelineFault::CorruptFinalLayout { .. } => unreachable!("handled above"),
+        }
+        let mut wounded = qc_ir::Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+        for gate in gates {
+            wounded.push(gate)?;
+        }
+        *dag = DagCircuit::from_circuit(&wounded);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pass::PassManager;
+    use qc_ir::{Circuit, Gate};
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::with_clbits(2, 0);
+        c.push(Gate::new(GateKind::H, vec![0])).unwrap();
+        c.push(Gate::new(GateKind::CX, vec![0, 1])).unwrap();
+        c
+    }
+
+    #[test]
+    fn drop_gate_removes_one_gate() {
+        let mut pm = PassManager::new();
+        pm.append(Box::new(SabotagePass::new(PipelineFault::DropGate { index: 1 })));
+        let result = pm.run(&bell()).unwrap();
+        assert_eq!(result.circuit.gates().len(), 1);
+    }
+
+    #[test]
+    fn flip_cx_reverses_operands() {
+        let mut pm = PassManager::new();
+        pm.append(Box::new(SabotagePass::new(PipelineFault::FlipCxDirection { nth: 0 })));
+        let result = pm.run(&bell()).unwrap();
+        assert_eq!(result.circuit.gates()[1].qubits, vec![1, 0]);
+    }
+
+    #[test]
+    fn corrupt_layout_touches_only_the_layout() {
+        let mut pm = PassManager::new();
+        pm.append(Box::new(SabotagePass::new(PipelineFault::CorruptFinalLayout { a: 0, b: 1 })));
+        let result = pm.run(&bell()).unwrap();
+        assert_eq!(result.circuit.gates().len(), 2);
+        let layout = result.properties.final_layout.expect("layout installed");
+        assert_eq!(layout.logical_to_physical(0), 1);
+        assert_eq!(layout.logical_to_physical(1), 0);
+    }
+
+    #[test]
+    fn faults_on_empty_circuits_are_noops() {
+        for fault in [
+            PipelineFault::DropGate { index: 0 },
+            PipelineFault::DuplicateGate { index: 3 },
+            PipelineFault::SwapAdjacentGates { index: 0 },
+            PipelineFault::FlipCxDirection { nth: 0 },
+        ] {
+            let mut pm = PassManager::new();
+            pm.append(Box::new(SabotagePass::new(fault)));
+            let result = pm.run(&Circuit::with_clbits(2, 0)).unwrap();
+            assert!(result.circuit.gates().is_empty());
+        }
+    }
+}

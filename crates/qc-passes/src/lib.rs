@@ -38,6 +38,7 @@
 
 pub mod analysis;
 pub mod basis;
+pub mod inject;
 pub mod layout;
 pub mod misc;
 pub mod optimization;

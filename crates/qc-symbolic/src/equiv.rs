@@ -7,7 +7,7 @@
 //! comparison in the Giallar verifier.
 
 use qc_ir::Circuit;
-use smtlite::{Context, Fingerprint, TermId, Verdict};
+use smtlite::{Context, FaultSite, Fingerprint, TermId, Verdict};
 
 use crate::circuit::SymCircuit;
 use crate::exec::SymbolicExecutor;
@@ -117,22 +117,24 @@ impl EquivalenceChecker {
         // circuits are identity-padded.
         let circuit_width = lhs.num_qubits().max(rhs.num_qubits());
         if wire_map.len() > self.num_qubits || wire_map.len() < circuit_width {
-            return Verdict::Refuted {
-                explanation: format!(
+            return Verdict::refuted_at(
+                format!(
                     "wire map covers {} qubits but the circuits span {circuit_width} \
                      and the register has {}",
                     wire_map.len(),
                     self.num_qubits
                 ),
-            };
+                FaultSite::WireMap { entry: None, len: wire_map.len() },
+            );
         }
         if let Some(&bad) = wire_map.iter().find(|&&w| w >= self.num_qubits) {
-            return Verdict::Refuted {
-                explanation: format!(
+            return Verdict::refuted_at(
+                format!(
                     "wire map sends a qubit to wire {bad}, outside the {}-qubit register",
                     self.num_qubits
                 ),
-            };
+                FaultSite::WireMap { entry: Some(bad), len: wire_map.len() },
+            );
         }
         let out_lhs = self.executor.execute(lhs);
         let out_rhs = self.executor.execute(rhs);
@@ -141,10 +143,11 @@ impl EquivalenceChecker {
             let b = out_rhs[wire_map.get(logical).copied().unwrap_or(logical)];
             match self.executor.context_mut().check_eq(a, b) {
                 Verdict::Proved => continue,
-                Verdict::Refuted { explanation } => {
-                    return Verdict::Refuted {
-                        explanation: format!("qubit {logical} differs: {explanation}"),
-                    }
+                Verdict::Refuted { explanation, .. } => {
+                    return Verdict::refuted_at(
+                        format!("qubit {logical} differs: {explanation}"),
+                        FaultSite::Wire { wire: logical },
+                    )
                 }
                 Verdict::Unknown { reason } => {
                     return Verdict::Unknown {
@@ -175,25 +178,27 @@ impl EquivalenceChecker {
         let circuit_width = lhs.num_qubits().max(rhs.num_qubits());
         if wire_map.len() > self.num_qubits || wire_map.len() < circuit_width {
             return (
-                Verdict::Refuted {
-                    explanation: format!(
+                Verdict::refuted_at(
+                    format!(
                         "wire map covers {} qubits but the circuits span {circuit_width} \
                          and the register has {}",
                         wire_map.len(),
                         self.num_qubits
                     ),
-                },
+                    FaultSite::WireMap { entry: None, len: wire_map.len() },
+                ),
                 Vec::new(),
             );
         }
         if let Some(&bad) = wire_map.iter().find(|&&w| w >= self.num_qubits) {
             return (
-                Verdict::Refuted {
-                    explanation: format!(
+                Verdict::refuted_at(
+                    format!(
                         "wire map sends a qubit to wire {bad}, outside the {}-qubit register",
                         self.num_qubits
                     ),
-                },
+                    FaultSite::WireMap { entry: Some(bad), len: wire_map.len() },
+                ),
                 Vec::new(),
             );
         }
@@ -225,9 +230,10 @@ impl EquivalenceChecker {
             if verdict.is_proved() {
                 verdict = match wire_verdict {
                     Verdict::Proved => Verdict::Proved,
-                    Verdict::Refuted { explanation } => Verdict::Refuted {
-                        explanation: format!("qubit {logical} differs: {explanation}"),
-                    },
+                    Verdict::Refuted { explanation, .. } => Verdict::refuted_at(
+                        format!("qubit {logical} differs: {explanation}"),
+                        FaultSite::Wire { wire: logical },
+                    ),
                     Verdict::Unknown { reason } => {
                         Verdict::Unknown { reason: format!("qubit {logical} undecided: {reason}") }
                     }

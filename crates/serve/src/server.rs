@@ -165,16 +165,42 @@ fn accept(listener: &ListenerKind) -> io::Result<ByteStream> {
     }
 }
 
+/// Hard cap on one request line.  A legitimate request (the largest is a
+/// full-registry `certify` op) is a few KB; anything beyond a megabyte is a
+/// runaway or hostile client, and buffering it unboundedly would let one
+/// connection exhaust the daemon's memory.
+pub const MAX_REQUEST_LINE: usize = 1 << 20;
+
 /// One connection: read request lines in order, await each response from
 /// the dispatcher, write it back.  Exits on EOF, a write error, or the
 /// shutdown flag.
+///
+/// Malformed input never kills the connection: unparseable or non-UTF-8
+/// lines get a structured protocol error (non-UTF-8 bytes are replaced
+/// lossily before parsing, which then fails cleanly), and a line exceeding
+/// [`MAX_REQUEST_LINE`] is answered with one error while the remainder of
+/// the oversized line is discarded as it streams in.
 fn serve_connection(mut stream: ByteStream, jobs: mpsc::Sender<Job>, shutdown: &AtomicBool) {
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let mut pending: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // True while swallowing the tail of an over-long line that was already
+    // answered with an error; cleared at the next newline.
+    let mut discarding = false;
     'connection: loop {
         while let Some(at) = pending.iter().position(|&b| b == b'\n') {
             let line: Vec<u8> = pending.drain(..=at).collect();
+            if discarding {
+                // The tail of a line whose head already got the error.
+                discarding = false;
+                continue;
+            }
+            if line.len() > MAX_REQUEST_LINE {
+                if !send_line_cap_error(&mut stream) {
+                    break 'connection;
+                }
+                continue;
+            }
             let line = String::from_utf8_lossy(&line);
             if line.trim().is_empty() {
                 continue;
@@ -191,6 +217,17 @@ fn serve_connection(mut stream: ByteStream, jobs: mpsc::Sender<Job>, shutdown: &
                 break 'connection;
             }
         }
+        // A newline-free line already over the cap: answer once, then
+        // drain the rest of it without buffering.
+        if pending.len() > MAX_REQUEST_LINE && !discarding {
+            discarding = true;
+            pending.clear();
+            if !send_line_cap_error(&mut stream) {
+                break 'connection;
+            }
+        } else if discarding {
+            pending.clear();
+        }
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
@@ -203,6 +240,16 @@ fn serve_connection(mut stream: ByteStream, jobs: mpsc::Sender<Job>, shutdown: &
             Err(_) => break,
         }
     }
+}
+
+/// Writes the oversized-line protocol error; returns false if the
+/// connection is gone.
+fn send_line_cap_error(stream: &mut ByteStream) -> bool {
+    let response = Response::error(-1, format!("request line exceeds {MAX_REQUEST_LINE} bytes"))
+        .versioned(ProtocolVersion::V1);
+    let mut wire = response.to_line();
+    wire.push('\n');
+    stream.write_all(wire.as_bytes()).is_ok() && stream.flush().is_ok()
 }
 
 /// Forwards one request to the dispatcher and blocks for its response,

@@ -50,5 +50,5 @@ pub mod term;
 pub use congruence::CongruenceClosure;
 pub use fingerprint::{fingerprint_str, Fingerprint, FingerprintBuilder};
 pub use rewrite::{reference_normalize, Pattern, RewriteRule, Rewriter};
-pub use solver::{Context, Formula, SolverStats, Verdict};
+pub use solver::{Context, FaultSite, Formula, SolverStats, Verdict};
 pub use term::{SymbolId, TermArena, TermData, TermId};

@@ -46,6 +46,41 @@ pub enum Formula {
     Implies(Box<Formula>, Box<Formula>),
 }
 
+/// Structured coordinates of the fault a refutation pinpoints.
+///
+/// The solver itself only knows terms, so it never attaches a site; the
+/// layers that translate circuit semantics into goals (the symbolic
+/// equivalence checker, the wire-map validators, the termination backend)
+/// decorate their refutations with the concrete wire, map entry, or measure
+/// that failed.  Tooling — the fault-injection campaign in particular —
+/// consumes the site to judge whether a refutation localises the bug instead
+/// of merely reporting "not equal".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultSite {
+    /// A specific logical wire whose symbolic state diverges between the two
+    /// circuits.
+    Wire {
+        /// The logical wire (qubit index) that differs.
+        wire: usize,
+    },
+    /// The wire map itself is malformed: an entry is out of range, or the
+    /// map covers the wrong number of qubits.
+    WireMap {
+        /// The offending map entry (target wire), when one entry is at
+        /// fault; `None` when the map's length is wrong.
+        entry: Option<usize>,
+        /// The number of entries the map actually has.
+        len: usize,
+    },
+    /// A termination measure fails to decrease across a loop iteration.
+    Termination {
+        /// Measure before the iteration (gates consumed from the worklist).
+        consumed: i64,
+        /// Measure after the iteration (gates still kept on the worklist).
+        kept: i64,
+    },
+}
+
 /// The result of a `check` query.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Verdict {
@@ -56,6 +91,9 @@ pub enum Verdict {
     Refuted {
         /// Human-readable explanation / counterexample description.
         explanation: String,
+        /// Structured coordinates of the fault, when a circuit-aware layer
+        /// could localise it.  The bare solver always leaves this `None`.
+        site: Option<FaultSite>,
     },
     /// The fragment cannot decide the goal (e.g. symbolic arithmetic).
     Unknown {
@@ -65,6 +103,16 @@ pub enum Verdict {
 }
 
 impl Verdict {
+    /// A refutation with no structured fault site.
+    pub fn refuted(explanation: impl Into<String>) -> Self {
+        Verdict::Refuted { explanation: explanation.into(), site: None }
+    }
+
+    /// A refutation localised to a structured fault site.
+    pub fn refuted_at(explanation: impl Into<String>, site: FaultSite) -> Self {
+        Verdict::Refuted { explanation: explanation.into(), site: Some(site) }
+    }
+
     /// Returns `true` for [`Verdict::Proved`].
     pub fn is_proved(&self) -> bool {
         matches!(self, Verdict::Proved)
@@ -73,6 +121,26 @@ impl Verdict {
     /// Returns `true` for [`Verdict::Refuted`].
     pub fn is_refuted(&self) -> bool {
         matches!(self, Verdict::Refuted { .. })
+    }
+
+    /// The structured fault site, when the verdict is a localised refutation.
+    pub fn fault_site(&self) -> Option<FaultSite> {
+        match self {
+            Verdict::Refuted { site, .. } => *site,
+            _ => None,
+        }
+    }
+
+    /// Attaches a fault site to a refutation (other verdicts pass through
+    /// unchanged).  An existing site is preserved: the innermost layer knows
+    /// the most precise coordinates.
+    pub fn with_site(self, site: FaultSite) -> Self {
+        match self {
+            Verdict::Refuted { explanation, site: None } => {
+                Verdict::Refuted { explanation, site: Some(site) }
+            }
+            other => other,
+        }
     }
 }
 
@@ -286,9 +354,7 @@ impl Context {
     fn eval(&mut self, goal: &Formula, cc: &mut CongruenceClosure, facts: &[Formula]) -> Verdict {
         match goal {
             Formula::Bool(true) => Verdict::Proved,
-            Formula::Bool(false) => {
-                Verdict::Refuted { explanation: "goal is literally false".to_string() }
-            }
+            Formula::Bool(false) => Verdict::refuted("goal is literally false"),
             Formula::Eq(a, b) => {
                 let na = self.normalize(*a);
                 let nb = self.normalize(*b);
@@ -299,19 +365,17 @@ impl Context {
                 if cc.equal(na, nb) {
                     Verdict::Proved
                 } else {
-                    Verdict::Refuted {
-                        explanation: format!(
-                            "terms have distinct normal forms: `{}` vs `{}`",
-                            self.arena.display(na),
-                            self.arena.display(nb)
-                        ),
-                    }
+                    Verdict::refuted(format!(
+                        "terms have distinct normal forms: `{}` vs `{}`",
+                        self.arena.display(na),
+                        self.arena.display(nb)
+                    ))
                 }
             }
             Formula::Ne(a, b) => match self.eval(&Formula::Eq(*a, *b), cc, facts) {
-                Verdict::Proved => Verdict::Refuted {
-                    explanation: "terms are provably equal but were required distinct".to_string(),
-                },
+                Verdict::Proved => {
+                    Verdict::refuted("terms are provably equal but were required distinct")
+                }
                 Verdict::Refuted { .. } => Verdict::Proved,
                 unknown => unknown,
             },
@@ -325,21 +389,17 @@ impl Context {
                         if holds {
                             Verdict::Proved
                         } else {
-                            Verdict::Refuted {
-                                explanation: format!(
-                                    "arithmetic goal fails: {va} {} {vb} is false",
-                                    if strict { "<" } else { "<=" }
-                                ),
-                            }
+                            Verdict::refuted(format!(
+                                "arithmetic goal fails: {va} {} {vb} is false",
+                                if strict { "<" } else { "<=" }
+                            ))
                         }
                     }
                     _ => self.difference_check(na, nb, strict, facts),
                 }
             }
             Formula::Not(inner) => match self.eval(inner, cc, facts) {
-                Verdict::Proved => {
-                    Verdict::Refuted { explanation: "negated goal is provable".to_string() }
-                }
+                Verdict::Proved => Verdict::refuted("negated goal is provable"),
                 Verdict::Refuted { .. } => Verdict::Proved,
                 unknown => unknown,
             },
@@ -387,12 +447,10 @@ impl Context {
                 return if holds {
                     Verdict::Proved
                 } else {
-                    Verdict::Refuted {
-                        explanation: format!(
-                            "offsets violate the goal: {off_a} vs {off_b} relative to `{}`",
-                            self.arena.display(base_a)
-                        ),
-                    }
+                    Verdict::refuted(format!(
+                        "offsets violate the goal: {off_a} vs {off_b} relative to `{}`",
+                        self.arena.display(base_a)
+                    ))
                 };
             }
         }
@@ -654,7 +712,7 @@ mod tests {
         let a = ctx.arena_mut().symbol("alpha");
         let b = ctx.arena_mut().symbol("beta");
         match ctx.check_eq(a, b) {
-            Verdict::Refuted { explanation } => {
+            Verdict::Refuted { explanation, .. } => {
                 assert!(explanation.contains("alpha"));
                 assert!(explanation.contains("beta"));
             }

@@ -173,3 +173,96 @@ fn concurrent_mixed_traffic_never_disagrees() {
     client.shutdown().expect("shutdown");
     handle.join().expect("join").expect("run");
 }
+
+/// Sends raw bytes on an existing stream and reads one response line back.
+fn raw_round_trip(stream: &mut std::net::TcpStream, payload: &[u8]) -> String {
+    use std::io::{BufRead, BufReader, Write};
+    stream.write_all(payload).expect("write payload");
+    stream.flush().expect("flush");
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().expect("clone stream"))
+        .read_line(&mut line)
+        .expect("read response line");
+    line
+}
+
+fn parse_response(line: &str) -> Value {
+    giallar::core::json::parse(line.trim_end()).expect("response is well-formed JSON")
+}
+
+#[test]
+fn malformed_requests_get_structured_errors_and_the_connection_survives() {
+    let (addr, handle) = start_server(EngineConfig::default());
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect raw");
+
+    // Garbage that is not JSON at all.
+    let response = parse_response(&raw_round_trip(&mut stream, b"this is not json\n"));
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    assert!(response.get("error").and_then(Value::as_str).is_some(), "no structured error");
+
+    // Valid JSON that is not a request.
+    let response = parse_response(&raw_round_trip(&mut stream, b"{\"hello\":42}\n"));
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+
+    // Non-UTF-8 bytes: replaced lossily, then rejected as a parse error.
+    let response = parse_response(&raw_round_trip(&mut stream, b"\xff\xfe\x80garbage\xc0\n"));
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+
+    // The same connection still serves a valid request afterwards.
+    let status = raw_round_trip(
+        &mut stream,
+        b"{\"schema\":\"giallar-serve/v1\",\"id\":7,\"op\":\"status\"}\n",
+    );
+    let status = parse_response(&status);
+    assert_eq!(status.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(status.get("id").and_then(Value::as_int), Some(7));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("run");
+}
+
+#[test]
+fn oversized_request_lines_are_rejected_without_killing_the_connection() {
+    use giallar::serve::server::MAX_REQUEST_LINE;
+    use std::io::Write;
+
+    let (addr, handle) = start_server(EngineConfig::default());
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect raw");
+
+    // One oversized line delivered whole: exactly one protocol error.
+    let mut oversized = vec![b'a'; MAX_REQUEST_LINE + 16];
+    oversized.push(b'\n');
+    let response = parse_response(&raw_round_trip(&mut stream, &oversized));
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    let error = response.get("error").and_then(Value::as_str).expect("error text");
+    assert!(error.contains("exceeds"), "unexpected error: {error}");
+
+    // An oversized line streamed without its newline: the error arrives as
+    // soon as the cap is crossed, the tail is discarded as it streams in,
+    // and the next line is served normally.
+    let chunk = vec![b'b'; MAX_REQUEST_LINE + 4096];
+    stream.write_all(&chunk).expect("stream oversized head");
+    stream.flush().expect("flush");
+    let mut line = String::new();
+    {
+        use std::io::{BufRead, BufReader};
+        BufReader::new(stream.try_clone().expect("clone"))
+            .read_line(&mut line)
+            .expect("read cap error");
+    }
+    let response = parse_response(&line);
+    assert_eq!(response.get("ok").and_then(Value::as_bool), Some(false));
+    // Finish the oversized line (silently swallowed), then a valid request.
+    let status = raw_round_trip(
+        &mut stream,
+        b"tail\n{\"schema\":\"giallar-serve/v1\",\"id\":9,\"op\":\"status\"}\n",
+    );
+    let status = parse_response(&status);
+    assert_eq!(status.get("ok").and_then(Value::as_bool), Some(true));
+    assert_eq!(status.get("id").and_then(Value::as_int), Some(9));
+
+    let mut client = Client::connect(&addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("join").expect("run");
+}
