@@ -2,8 +2,9 @@
 //!
 //! Wraps `giallar_core::mutate`: the registry campaign wounds every
 //! falsifiable proof obligation of the 44 verified passes with seven
-//! operator families and requires both solver backends to refute each
-//! wound at the wounded obligation with precise fault coordinates; the
+//! operator families and requires every solver-backend routing (default,
+//! reference, and saturate) to refute each wound at the wounded obligation
+//! with precise fault coordinates; the
 //! pipeline campaign corrupts real QASMBench compilations with a
 //! `SabotagePass` and requires the certificate checker to refuse them.
 //!
@@ -44,7 +45,7 @@ pub struct BugDetection {
 
 impl BugDetection {
     /// Surviving *semantic* wounds across both layers: registry mutants
-    /// not refuted by both backends, plus semantically corrupted
+    /// not refuted by every backend routing, plus semantically corrupted
     /// compilations whose certificates were not refused.
     pub fn survivors(&self) -> usize {
         self.report.survivors().len()
@@ -82,7 +83,27 @@ struct FamilyRow {
     mutants: usize,
     detected: usize,
     precise: usize,
-    mean_refute_seconds: f64,
+    /// Per-mutant refute times (mean across the backend runs of each
+    /// mutant), in campaign order — the mean and the time-to-refute
+    /// percentiles derive from this.
+    refute_seconds: Vec<f64>,
+}
+
+impl FamilyRow {
+    fn mean_refute_seconds(&self) -> f64 {
+        self.refute_seconds.iter().sum::<f64>() / self.refute_seconds.len().max(1) as f64
+    }
+
+    /// Nearest-rank percentile of the per-mutant refute times.
+    fn refute_percentile(&self, percentile: f64) -> f64 {
+        if self.refute_seconds.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.refute_seconds.clone();
+        sorted.sort_by(f64::total_cmp);
+        let rank = ((percentile / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
 }
 
 fn family_rows(report: &CampaignReport) -> Vec<FamilyRow> {
@@ -93,20 +114,16 @@ fn family_rows(report: &CampaignReport) -> Vec<FamilyRow> {
             mutants: 0,
             detected: 0,
             precise: 0,
-            mean_refute_seconds: 0.0,
+            refute_seconds: Vec::new(),
         });
         row.mutants += 1;
         row.detected += usize::from(outcome.detected);
         row.precise += usize::from(outcome.precise);
         let per_mutant: f64 = outcome.runs.iter().map(|r| r.time_seconds).sum::<f64>()
             / outcome.runs.len().max(1) as f64;
-        row.mean_refute_seconds += per_mutant;
+        row.refute_seconds.push(per_mutant);
     }
-    let mut out: Vec<FamilyRow> = rows.into_values().collect();
-    for row in &mut out {
-        row.mean_refute_seconds /= row.mutants.max(1) as f64;
-    }
-    out
+    rows.into_values().collect()
 }
 
 /// The canonical bug-detection artifact (`BENCH_bug_detection.json`).
@@ -124,10 +141,11 @@ pub fn bug_detection_artifact_json(result: &BugDetection, include_timings: bool)
             if include_timings {
                 members.push((
                     "timing",
-                    Value::object(vec![(
-                        "mean_refute_seconds",
-                        Value::Float(row.mean_refute_seconds),
-                    )]),
+                    Value::object(vec![
+                        ("mean_refute_seconds", Value::Float(row.mean_refute_seconds())),
+                        ("p50_refute_seconds", Value::Float(row.refute_percentile(50.0))),
+                        ("p99_refute_seconds", Value::Float(row.refute_percentile(99.0))),
+                    ]),
                 ));
             }
             Value::object(members)
@@ -208,21 +226,29 @@ pub fn bug_detection_text(result: &BugDetection) -> String {
     let report = &result.report;
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<22} {:>8} {:>9} {:>8} {:>18}\n",
-        "operator family", "mutants", "detected", "precise", "mean refute (s)"
+        "{:<22} {:>8} {:>9} {:>8} {:>18} {:>14} {:>14}\n",
+        "operator family",
+        "mutants",
+        "detected",
+        "precise",
+        "mean refute (s)",
+        "p50 (s)",
+        "p99 (s)"
     ));
     for row in family_rows(report) {
         out.push_str(&format!(
-            "{:<22} {:>8} {:>9} {:>8} {:>18.6}\n",
+            "{:<22} {:>8} {:>9} {:>8} {:>18.6} {:>14.6} {:>14.6}\n",
             row.family.name(),
             row.mutants,
             row.detected,
             row.precise,
-            row.mean_refute_seconds
+            row.mean_refute_seconds(),
+            row.refute_percentile(50.0),
+            row.refute_percentile(99.0),
         ));
     }
     out.push_str(&format!(
-        "\nregistry: {}/{} mutants refuted by both backends ({:.1}% detection, {:.1}% precise \
+        "\nregistry: {}/{} mutants refuted by every backend ({:.1}% detection, {:.1}% precise \
          localization); {} equivalent and {} undecidable candidates screened out\n",
         report.detected(),
         report.total(),
@@ -260,6 +286,7 @@ mod tests {
         let bare = bug_detection_artifact_json(&result, false);
         assert!(!bare.contains("_seconds"));
         let timed = bug_detection_artifact_json(&result, true);
+        assert!(timed.contains("p50_refute_seconds") && timed.contains("p99_refute_seconds"));
         let bare_doc = giallar_core::json::parse(&bare).unwrap();
         let timed_doc = giallar_core::json::parse(&timed).unwrap();
         assert_eq!(crate::strip_timing(&timed_doc), crate::strip_timing(&bare_doc));

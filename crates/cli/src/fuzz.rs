@@ -1,7 +1,7 @@
 //! `giallar fuzz` — the fault-injection campaign.
 //!
 //! Enumerates mutants of the registry's proof obligations, discharges each
-//! through both solver backends, sabotages real compilations through the
+//! through every solver-backend routing, sabotages real compilations through the
 //! certificate checker, and exits nonzero if any semantic wound survives.
 
 use bench::{bug_detection_artifact_json, bug_detection_text, BugDetection, CAMPAIGN_SEED};

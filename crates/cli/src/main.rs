@@ -74,9 +74,12 @@ SUBCOMMANDS:
     verify     verify the 44-pass registry (all passes or --pass <name>)
         --pass <name>          verify a single pass (typos get suggestions)
         --format <fmt>         table (default) | markdown | json
-        --jobs <n>             worker threads for obligation discharge
-        --backend <name>       solver backend routing: default | reference
-                               (reference = naive normalizer, for
+        --jobs <n>             worker threads for obligation generation and
+                               batched group discharge
+        --backend <name>       solver backend routing:
+                               default | reference | saturate
+                               (reference = naive normalizer, saturate =
+                               equality-saturation e-graph; both for
                                differential cross-checks)
         --cache <file>         incremental verification cache (JSON; created
                                when missing, re-discharges only obligations
@@ -112,9 +115,9 @@ SUBCOMMANDS:
                                against the committed files in <dir>, ignoring
                                timing fields (nonzero exit on drift)
     fuzz       run the fault-injection campaign: wound every falsifiable
-                               registry obligation, require both backends to
-                               refute each wound, and sabotage real
-                               compilations through check-cert
+                               registry obligation, require every backend
+                               routing to refute each wound, and sabotage
+                               real compilations through check-cert
         --seed <s>             campaign seed: decimal, 0x-hex, or any string
                                (hashed); default 0xg1allar
         --mutants <n>          bound the mutant corpus (default: all)
@@ -138,7 +141,8 @@ SUBCOMMANDS:
         verify                 served verification; renders like `verify`
             --pass <name>      verify one pass (repeatable)
             --per-pass         replay the whole registry one request per pass
-            --backend <name>   solver backend routing: default | reference
+            --backend <name>   solver backend routing:
+                               default | reference | saturate
             --format <fmt>     table (default) | markdown | json
             --deterministic    omit machine-dependent timing from the output
             --expect-passes <n>  fail unless exactly n passes were verified

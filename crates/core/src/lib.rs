@@ -35,6 +35,11 @@
 //!   rewriting, arithmetic, trivial, and a naive reference backend for
 //!   differential runs), and a [`backend::BackendRegistry`] that routes each
 //!   goal class to the backend selected by [`backend::BackendSelection`].
+//! * [`batch`] — the discharge planning step shared by the daemon
+//!   dispatcher and the verifier's cross-pass batched discharge: cache
+//!   misses are deduplicated by fingerprint and grouped by
+//!   `(backend selection, goal class, register width)` so each group can
+//!   share one prewarmed, snapshot-cloned solver context.
 //! * [`certificate`] — per-compilation translation-validation certificates:
 //!   a compilation can emit a machine-checkable
 //!   [`certificate::EquivalenceCertificate`] (circuit fingerprints, wire
@@ -71,6 +76,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod batch;
 pub mod cache;
 pub mod case_studies;
 pub mod certificate;
@@ -86,6 +92,7 @@ pub mod verifier;
 pub mod wrapper;
 
 pub use backend::{BackendDescriptor, BackendRegistry, BackendSelection, GoalClass, SolverBackend};
+pub use batch::{plan, BatchItem, DischargeGroup};
 pub use cache::{
     obligation_fingerprint, CachedVerdict, PassCacheStats, VerdictCache, CACHE_FORMAT_VERSION,
 };

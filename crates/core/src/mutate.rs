@@ -6,7 +6,7 @@
 //! other direction.  It systematically wounds pass semantics — swapped and
 //! off-by-one wire maps, dropped/duplicated/reordered gates, wrong basis
 //! decompositions, identity-instead-of-transform — and asserts that every
-//! wound is refuted by **both** solver backends, with a refutation that
+//! wound is refuted by **every** solver-backend routing, with a refutation that
 //! carries structured fault coordinates ([`smtlite::FaultSite`]).
 //!
 //! Three layers:
@@ -790,7 +790,7 @@ pub struct BackendRun {
     pub time_seconds: f64,
 }
 
-/// The campaign outcome for one mutant across both backends.
+/// The campaign outcome for one mutant across every backend routing.
 #[derive(Debug, Clone)]
 pub struct MutantOutcome {
     /// Mutant id (enumeration order).
@@ -918,7 +918,7 @@ fn run_mutant_backend(mutant: &Mutant, selection: BackendSelection) -> BackendRu
     }
 }
 
-/// Runs one mutant through both backends and classifies the outcome.
+/// Runs one mutant through every backend routing and classifies the outcome.
 fn run_mutant(mutant: &Mutant) -> MutantOutcome {
     let runs: Vec<BackendRun> =
         BackendSelection::ALL.iter().map(|s| run_mutant_backend(mutant, *s)).collect();
@@ -942,7 +942,7 @@ fn run_mutant(mutant: &Mutant) -> MutantOutcome {
 }
 
 /// Runs the registry campaign: enumerate the corpus, then discharge every
-/// mutant through both backends in parallel (report order stays
+/// mutant through every backend routing in parallel (report order stays
 /// deterministic — outcomes come back in enumeration order).
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let enumeration = enumerate_mutants(config.seed, config.pass_filter.as_deref());

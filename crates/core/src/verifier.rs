@@ -2,6 +2,8 @@
 //! goal-class-routed solver backends of [`crate::backend`] and produces the
 //! per-pass reports that make up Table 2 of the paper.
 
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
 use qc_symbolic::Verdict;
@@ -10,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use smtlite::Fingerprint;
 
 use crate::backend::{BackendRegistry, BackendSelection, GoalClass};
+use crate::batch::{plan, BatchItem};
 use crate::cache::{obligation_fingerprint, CachedVerdict, VerdictCache};
 use crate::json::Value;
 use crate::obligation::{Goal, ProofObligation};
@@ -146,6 +149,15 @@ impl Discharger {
     /// Discharges one goal against the shared solver state.
     pub fn discharge(&mut self, goal: &Goal) -> Verdict {
         self.registry.discharge(goal)
+    }
+
+    /// A snapshot clone of this discharger, prewarmed state included — the
+    /// batched scheduler builds one prewarmed template per discharge group
+    /// and fans snapshot clones out across worker threads, so the rule
+    /// library is compiled once per group rather than once per worker.
+    /// `None` when an installed backend cannot snapshot.
+    pub fn snapshot(&self) -> Option<Discharger> {
+        Some(Discharger { registry: self.registry.snapshot()? })
     }
 }
 
@@ -451,23 +463,117 @@ pub fn verify_passes_cached(passes: &[VerifiedPass], cache: &mut VerdictCache) -
     verify_passes_cached_with(passes, cache, BackendSelection::Default)
 }
 
+/// Discharges a planned batch of cache misses work-stealing-parallel.
+///
+/// The plan's groups (same selection, goal class, and register width) each
+/// get one prewarmed template [`Discharger`] built up front on the calling
+/// thread; workers pull items off a shared atomic index and snapshot-clone
+/// the owning group's template whenever they cross a group boundary, so a
+/// worker that drains a whole group reuses one solver context for all of it.
+/// The worker count is bounded by the rayon pool size, i.e. by `--jobs`.
+///
+/// The returned map is keyed by fingerprint; because verdicts are pure
+/// functions of the fingerprinted inputs (the determinism contract in
+/// [`crate::backend`]), the map's contents are independent of scheduling.
+fn discharge_batched(items: Vec<BatchItem<&Goal>>) -> HashMap<Fingerprint, CachedVerdict> {
+    let groups = plan(items);
+    let templates: Vec<Discharger> = groups
+        .iter()
+        .map(|group| {
+            let mut discharger = Discharger::with_selection(group.selection);
+            discharger.prewarm(group.width);
+            discharger
+        })
+        .collect();
+    // Flatten in plan order: (group index, fingerprint, goal).
+    let units: Vec<(usize, Fingerprint, &Goal)> = groups
+        .iter()
+        .enumerate()
+        .flat_map(|(index, group)| {
+            group.work.iter().map(move |&(fingerprint, goal)| (index, fingerprint, goal))
+        })
+        .collect();
+    let workers = rayon::current_num_threads().min(units.len()).max(1);
+    if workers == 1 {
+        // Single-worker pool (`--jobs 1` or a single unit): discharge in
+        // plan order on this thread, straight on the templates.
+        let mut templates = templates;
+        return units
+            .into_iter()
+            .map(|(index, fingerprint, goal)| {
+                (fingerprint, CachedVerdict::from_verdict(&templates[index].discharge(goal)))
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out: Vec<(Fingerprint, CachedVerdict)> = Vec::new();
+                    let mut current: Option<(usize, Discharger)> = None;
+                    loop {
+                        let slot = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(index, fingerprint, goal)) = units.get(slot) else {
+                            break;
+                        };
+                        let discharger = match current {
+                            Some((held, ref mut discharger)) if held == index => discharger,
+                            _ => {
+                                let clone = templates[index].snapshot().unwrap_or_else(|| {
+                                    // A backend without snapshot support:
+                                    // build (and prewarm) a fresh context.
+                                    let group = &groups[index];
+                                    let mut d = Discharger::with_selection(group.selection);
+                                    d.prewarm(group.width);
+                                    d
+                                });
+                                &mut current.insert((index, clone)).1
+                            }
+                        };
+                        let verdict = discharger.discharge(goal);
+                        out.push((fingerprint, CachedVerdict::from_verdict(&verdict)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|handle| handle.join().expect("discharge worker panicked"))
+            .collect()
+    })
+}
+
 /// The cached verification path over an explicit pass list and backend
 /// selection.
 ///
-/// Three phases keep the run deterministic and the hot path parallel:
+/// Four phases keep the run deterministic and the hot path parallel:
 ///
 /// 1. obligation generation + fingerprinting per pass, in parallel (pure);
-/// 2. every pass walks its obligations against a shared read-only snapshot
-///    of the cache, in parallel — misses discharge with a per-pass
-///    [`Discharger`], and a pass whose obligations all hit never builds
-///    solver state at all;
-/// 3. hit/miss stats and fresh verdicts fold into the cache sequentially,
-///    in registry order, so the counters and the persisted file are
-///    byte-deterministic regardless of thread scheduling.
+/// 2. a sequential scan over the start-of-run cache collects every miss of
+///    every pass into [`BatchItem`]s, and [`plan`] deduplicates them by
+///    fingerprint and groups them by `(selection, goal class, width)`;
+/// 3. the groups discharge work-stealing-parallel (`discharge_batched`):
+///    one prewarmed template solver context per group, snapshot-cloned per
+///    worker, so the whole run builds solver state per *group* instead of
+///    per pass;
+/// 4. per-pass reports, hit/miss stats, and fresh verdicts fold
+///    sequentially, in registry order, answering misses from the discharged
+///    batch — so the counters, the reports, and the persisted file are
+///    byte-identical to the per-pass walk regardless of thread scheduling.
 ///
-/// Because lookups read the start-of-run snapshot, an obligation shared by
-/// two passes counts (and on a cold run discharges) once per pass within a
-/// single run, then hits for both on the next.
+/// The rayon pool (bounded by `--jobs`) limits both phase-1 obligation
+/// generation and phase-3 group discharge; `--jobs 1` degenerates to a
+/// fully sequential run with identical output.
+///
+/// Hits and misses are judged against the start-of-run snapshot (the
+/// phase-2 scan), so an obligation shared by two passes counts once per
+/// pass within a single run — its verdict discharges once thanks to the
+/// plan's fingerprint dedup — then hits for both on the next.  The fold
+/// stops at each pass's first failing verdict exactly like the single-pass
+/// walk (`walk_pass_cached`): later obligations of a failed pass may have
+/// been discharged by the batch, but they are neither counted nor recorded.
 pub fn verify_passes_cached_with(
     passes: &[VerifiedPass],
     cache: &mut VerdictCache,
@@ -482,21 +588,74 @@ pub fn verify_passes_cached_with(
             (obligations, fingerprints)
         })
         .collect();
-    let work: Vec<(&VerifiedPass, PreparedPass)> = passes.iter().zip(prepared).collect();
-    let snapshot: &VerdictCache = cache;
-    let walks: Vec<PassWalk> = work
-        .par_iter()
-        .map(|(pass, (obligations, fingerprints))| {
-            walk_pass_cached(pass, obligations, fingerprints, snapshot, selection)
+    // Phase 2: cross-pass miss scan against the start-of-run cache.  The
+    // per-(pass, obligation) miss flags are remembered so phase 4 counts
+    // hits and misses against this snapshot, not the mutating cache.
+    let mut items: Vec<BatchItem<&Goal>> = Vec::new();
+    let missed: Vec<Vec<bool>> = prepared
+        .iter()
+        .map(|(obligations, fingerprints)| {
+            let width = pass_register_width(obligations);
+            obligations
+                .iter()
+                .zip(fingerprints)
+                .map(|(obligation, &fingerprint)| {
+                    if cache.peek(fingerprint).is_some() {
+                        return false;
+                    }
+                    let class = GoalClass::of(&obligation.goal);
+                    items.push(BatchItem {
+                        selection,
+                        class,
+                        width: if class == GoalClass::CircuitEquivalence { width } else { 0 },
+                        fingerprint,
+                        payload: &obligation.goal,
+                    });
+                    true
+                })
+                .collect()
         })
         .collect();
-    let mut reports = Vec::with_capacity(walks.len());
-    for (pass, walk) in passes.iter().zip(walks) {
-        cache.note_pass(pass.name, walk.hits, walk.misses);
-        for (fingerprint, verdict) in walk.fresh {
+    // Phase 3: plan + work-stealing discharge of the deduplicated misses.
+    let discharged = discharge_batched(items);
+    // Phase 4: sequential registry-order fold with walk semantics.
+    let mut reports = Vec::with_capacity(passes.len());
+    for ((pass, (obligations, fingerprints)), missed) in passes.iter().zip(&prepared).zip(&missed) {
+        let start = Instant::now();
+        let mut verified = true;
+        let mut failure = None;
+        let mut fresh: Vec<(Fingerprint, CachedVerdict)> = Vec::new();
+        let mut hits = 0;
+        let mut misses = 0;
+        for ((obligation, &fingerprint), &miss) in obligations.iter().zip(fingerprints).zip(missed)
+        {
+            let verdict = if miss {
+                misses += 1;
+                let cached =
+                    discharged.get(&fingerprint).expect("the plan covers every scanned miss");
+                let verdict = cached.to_verdict();
+                fresh.push((fingerprint, CachedVerdict::from_verdict(&verdict)));
+                verdict
+            } else {
+                hits += 1;
+                cache.peek(fingerprint).expect("a phase-2 hit stays cached").to_verdict()
+            };
+            if !fold_verdict(verdict, &obligation.description, &mut verified, &mut failure) {
+                break;
+            }
+        }
+        cache.note_pass(pass.name, hits, misses);
+        for (fingerprint, verdict) in fresh {
             cache.record(fingerprint, verdict);
         }
-        reports.push(walk.report);
+        reports.push(PassReport {
+            name: pass.name.to_string(),
+            pass_loc: pass.pass_loc,
+            subgoals: obligations.len(),
+            time_seconds: start.elapsed().as_secs_f64(),
+            verified,
+            failure,
+        });
     }
     reports
 }

@@ -62,7 +62,7 @@ fn term_fingerprint(context: &Context, term: TermId) -> Fingerprint {
 /// over the full register (the untouched wires are trivially equal), wire
 /// maps shorter than the register are padded with the identity, and the
 /// solver's normal-form memo keeps re-normalising shared sub-terms free.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EquivalenceChecker {
     executor: SymbolicExecutor,
     num_qubits: usize,

@@ -39,7 +39,7 @@ pub fn gate_func_name(gate: &Gate) -> String {
 
 /// A symbolic executor: owns an [`smtlite::Context`] pre-loaded with the
 /// circuit rewrite rules and the initial register terms `q0, q1, …`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SymbolicExecutor {
     ctx: Context,
     initial: Vec<TermId>,

@@ -1,0 +1,737 @@
+//! An e-graph (equality graph) and equality saturation over rewrite rules.
+//!
+//! The directed [`crate::Rewriter`] normalizes one term at a time: it
+//! commits to the first matching rule at each node, so shared subterm work
+//! is repeated per query and rule *orderings* are never explored.  An
+//! e-graph represents a whole congruence-closed set of equal terms at once:
+//!
+//! * **e-nodes** are hash-consed operators over e-class ids (`ENode`,
+//!   interned in [`EGraph::add_term`]),
+//! * **e-classes** are union-find equivalence classes of e-nodes,
+//! * **rebuild** restores the congruence invariant after unions with the
+//!   same signature-map fixpoint as [`crate::CongruenceClosure::propagate`],
+//! * **rule application** matches every rule everywhere simultaneously and
+//!   unions each match with its instantiated right-hand side, repeating to
+//!   **saturation** (no new nodes, no new unions) under a node/iteration
+//!   budget ([`SaturationBudget`]).
+//!
+//! The same directed rules `lhs → rhs` are applied as *equations*: every
+//! rewrite the directed strategy can perform lands both sides in one
+//! e-class, so reference-provable equalities are always saturate-provable
+//! (the one-directional guarantee the differential property tests pin).
+//! The arithmetic analysis mirrors the rewriter's constant folding: an
+//! e-class holding two literal-valued argument classes under `+`/`-`/`*`
+//! folds to the literal (checked arithmetic, like `fold_arithmetic`).
+//!
+//! # Soundness of the three answers
+//!
+//! * Same e-class ⟹ **equal** — always sound, even before saturation
+//!   (unions only ever merge provably equal terms).
+//! * Different e-classes at a saturation fixpoint ⟹ **distinct** — the
+//!   closure is complete, nothing else can merge them.
+//! * Different e-classes after a budget truncation ⟹ **undecided** — a
+//!   longer run might still merge them.  Callers must never report a
+//!   truncated run as a proof of distinctness, and
+//!   [`EquivCheck::saturated`] is how they tell the cases apart.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+use crate::rewrite::{Pattern, RewriteRule};
+use crate::term::{SymbolId, TermArena, TermData, TermId};
+
+/// An e-class identifier.  Only meaningful for the [`EGraph`] that issued
+/// it; compare through [`EGraph::same_class`] (ids are union-find slots, not
+/// canonical names).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(usize);
+
+/// One operator node over e-class children.  Mirrors [`TermData`]: leaf
+/// symbols and nullary applications stay distinct, exactly like the term
+/// arena (and therefore like both rewriters).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+enum ENode {
+    /// A leaf symbol (`TermData::Symbol`), interned for cheap hashing.
+    Symbol(SymbolId),
+    /// An integer literal.
+    Int(i64),
+    /// A function application over e-class children.
+    App(SymbolId, Vec<ClassId>),
+}
+
+/// The data of one e-class: its member nodes and the constant-folding
+/// analysis value.
+#[derive(Debug, Default)]
+struct EClass {
+    /// Member nodes.  Canonical, sorted, and deduplicated after
+    /// [`EGraph::rebuild`]; possibly stale between unions.
+    nodes: Vec<ENode>,
+    /// The literal value of the class when one is known (every member term
+    /// equals this integer).
+    value: Option<i64>,
+}
+
+/// Node and iteration budget for [`EGraph::run_rules`].  Saturation on an
+/// arbitrary rule set need not terminate (a growing rule like
+/// `f(x) → f(f(x))` mints new e-nodes forever), so every run is bounded;
+/// exceeding either bound stops the run with `saturated = false`.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationBudget {
+    /// Maximum number of e-nodes ever created.
+    pub max_nodes: usize,
+    /// Maximum number of match-apply-rebuild iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for SaturationBudget {
+    fn default() -> Self {
+        SaturationBudget { max_nodes: 50_000, max_iterations: 64 }
+    }
+}
+
+/// The result of one saturation run.
+#[derive(Debug, Clone, Copy)]
+pub struct SaturationOutcome {
+    /// Whether a fixpoint was reached: an iteration produced no new node
+    /// and no new union.  `false` means the run was truncated by the budget
+    /// (or stopped early by the caller) and absence of a merge proves
+    /// nothing.
+    pub saturated: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total e-nodes created over the e-graph's lifetime.
+    pub nodes: usize,
+}
+
+/// A pattern compiled for e-matching: named variables become dense slot
+/// indices binding e-classes, string heads become interned [`SymbolId`]s
+/// (the same compilation scheme as the rewriter's `CompiledPattern`).
+#[derive(Debug, Clone)]
+enum EPat {
+    Slot(u16),
+    Int(i64),
+    App(SymbolId, Vec<EPat>),
+}
+
+/// A rule compiled for saturation; `slots` is shared between both sides
+/// (every rhs variable is lhs-bound, enforced by [`RewriteRule::new`]).
+#[derive(Debug, Clone)]
+struct ERule {
+    lhs: EPat,
+    rhs: EPat,
+    slots: usize,
+}
+
+fn compile_pat(arena: &mut TermArena, pattern: &Pattern, slots: &mut Vec<String>) -> EPat {
+    match pattern {
+        Pattern::Var(name) => {
+            let slot = match slots.iter().position(|s| s == name) {
+                Some(slot) => slot,
+                None => {
+                    slots.push(name.clone());
+                    slots.len() - 1
+                }
+            };
+            EPat::Slot(u16::try_from(slot).expect("more than 65536 pattern vars"))
+        }
+        Pattern::Int(v) => EPat::Int(*v),
+        Pattern::App(func, args) => {
+            let head = arena.intern_symbol(func);
+            EPat::App(head, args.iter().map(|a| compile_pat(arena, a, slots)).collect())
+        }
+    }
+}
+
+fn compile_rule(arena: &mut TermArena, rule: &RewriteRule) -> ERule {
+    let mut slots = Vec::new();
+    let lhs = compile_pat(arena, &rule.lhs, &mut slots);
+    let rhs = compile_pat(arena, &rule.rhs, &mut slots);
+    ERule { lhs, rhs, slots: slots.len() }
+}
+
+/// A partial variable assignment during e-matching: slot index → e-class.
+type Binding = Vec<Option<ClassId>>;
+
+/// A hash-consed e-graph with congruence maintenance and equality
+/// saturation.  See the module docs for the invariants.
+#[derive(Debug, Default)]
+pub struct EGraph {
+    /// Union-find parent pointers over class ids.
+    parent: Vec<usize>,
+    classes: Vec<EClass>,
+    /// Hash-cons: canonical node → class (consulted by [`EGraph::add`];
+    /// rebuilt, never iterated, so e-graph evolution is deterministic).
+    memo: HashMap<ENode, ClassId>,
+    nodes_created: usize,
+}
+
+impl EGraph {
+    /// Creates an empty e-graph.
+    pub fn new() -> Self {
+        EGraph::default()
+    }
+
+    /// The canonical class of `id`.
+    pub fn find(&self, id: ClassId) -> ClassId {
+        let mut x = id.0;
+        while self.parent[x] != x {
+            x = self.parent[x];
+        }
+        ClassId(x)
+    }
+
+    /// Whether two classes are known equal.
+    pub fn same_class(&self, a: ClassId, b: ClassId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Total e-nodes created over the e-graph's lifetime (the quantity the
+    /// node budget bounds).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes_created
+    }
+
+    /// Number of live (canonical) e-classes.
+    pub fn num_classes(&self) -> usize {
+        (0..self.parent.len()).filter(|&c| self.parent[c] == c).count()
+    }
+
+    /// The constant-folding analysis value of a class, when known.
+    pub fn class_value(&self, id: ClassId) -> Option<i64> {
+        self.classes[self.find(id).0].value
+    }
+
+    fn canonicalize(&self, node: &ENode) -> ENode {
+        match node {
+            ENode::App(func, children) => {
+                ENode::App(*func, children.iter().map(|&c| self.find(c)).collect())
+            }
+            leaf => leaf.clone(),
+        }
+    }
+
+    /// The constant-folding analysis: literal nodes carry their value, and
+    /// the built-in `+`/`-`/`*` fold when both argument classes have one
+    /// (checked arithmetic — overflow yields no value, like the rewriter's
+    /// `fold_arithmetic`).
+    fn eval(&self, arena: &TermArena, node: &ENode) -> Option<i64> {
+        match node {
+            ENode::Int(v) => Some(*v),
+            ENode::App(func, children) if children.len() == 2 => {
+                let a = self.classes[self.find(children[0]).0].value?;
+                let b = self.classes[self.find(children[1]).0].value?;
+                match arena.symbol_name(*func) {
+                    "+" => a.checked_add(b),
+                    "-" => a.checked_sub(b),
+                    "*" => a.checked_mul(b),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Interns one node, returning its class.  New nodes with a literal
+    /// analysis value are immediately unioned with the literal's class.
+    fn add(&mut self, arena: &TermArena, node: ENode) -> ClassId {
+        let node = self.canonicalize(&node);
+        if let Some(&class) = self.memo.get(&node) {
+            return self.find(class);
+        }
+        let id = ClassId(self.parent.len());
+        let value = self.eval(arena, &node);
+        self.parent.push(id.0);
+        self.classes.push(EClass { nodes: vec![node.clone()], value });
+        let is_literal = matches!(node, ENode::Int(_));
+        self.memo.insert(node, id);
+        self.nodes_created += 1;
+        if let Some(v) = value {
+            if !is_literal {
+                let literal = self.add(arena, ENode::Int(v));
+                self.union(id, literal);
+            }
+        }
+        self.find(id)
+    }
+
+    /// Interns an arena term (leaf symbols are interned into the arena's
+    /// symbol table for cheap node hashing).
+    pub fn add_term(&mut self, arena: &mut TermArena, term: TermId) -> ClassId {
+        match arena.data(term).clone() {
+            TermData::Symbol(name) => {
+                let symbol = arena.intern_symbol(&name);
+                self.add(arena, ENode::Symbol(symbol))
+            }
+            TermData::Int(v) => self.add(arena, ENode::Int(v)),
+            TermData::App(func, args) => {
+                let children: Vec<ClassId> =
+                    args.iter().map(|&a| self.add_term(arena, a)).collect();
+                self.add(arena, ENode::App(func, children))
+            }
+        }
+    }
+
+    /// Merges two classes (into the lower canonical id, so merge results
+    /// are deterministic).  Returns whether anything changed.  Call
+    /// [`EGraph::rebuild`] before relying on congruence afterwards.
+    pub fn union(&mut self, a: ClassId, b: ClassId) -> bool {
+        let (ra, rb) = (self.find(a).0, self.find(b).0);
+        if ra == rb {
+            return false;
+        }
+        let (keep, drop) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[drop] = keep;
+        let dropped_nodes = std::mem::take(&mut self.classes[drop].nodes);
+        self.classes[keep].nodes.extend(dropped_nodes);
+        // Sound rule sets never assign two different literals to one class;
+        // keep the survivor's value if both are set.
+        if self.classes[keep].value.is_none() {
+            self.classes[keep].value = self.classes[drop].value.take();
+        }
+        true
+    }
+
+    /// Restores the congruence invariant after unions: repeatedly sweeps
+    /// every class's nodes through a canonical-signature map, merging
+    /// classes that share a signature (the [`crate::CongruenceClosure`]
+    /// fixpoint lifted to e-classes), and propagates constant-folding
+    /// values upward.  Finally re-canonicalizes, sorts, and deduplicates
+    /// every node list and rebuilds the hash-cons, so matching and
+    /// further interning see canonical state.
+    pub fn rebuild(&mut self, arena: &TermArena) {
+        loop {
+            let mut changed = false;
+            let canonical: Vec<usize> =
+                (0..self.parent.len()).filter(|&c| self.parent[c] == c).collect();
+            let mut pairs: Vec<(ENode, ClassId)> = Vec::new();
+            for &c in &canonical {
+                for node in &self.classes[c].nodes {
+                    pairs.push((self.canonicalize(node), ClassId(c)));
+                }
+            }
+            let mut signatures: HashMap<ENode, ClassId> = HashMap::with_capacity(pairs.len());
+            for (node, class) in pairs {
+                match signatures.entry(node) {
+                    Entry::Occupied(entry) => {
+                        if self.union(*entry.get(), class) {
+                            changed = true;
+                        }
+                    }
+                    Entry::Vacant(entry) => {
+                        entry.insert(class);
+                    }
+                }
+            }
+            if self.propagate_values(arena) {
+                changed = true;
+            }
+            if !changed {
+                break;
+            }
+        }
+        self.finalize();
+    }
+
+    /// Upward constant-folding: classes whose `+`/`-`/`*` node gained two
+    /// literal-valued argument classes (through unions) fold late, exactly
+    /// like the rewriter re-folds after each rewrite step.  Every folded
+    /// class is unioned with its literal's class.
+    fn propagate_values(&mut self, arena: &TermArena) -> bool {
+        let mut changed = false;
+        loop {
+            let mut folded = false;
+            let canonical: Vec<usize> =
+                (0..self.parent.len()).filter(|&c| self.parent[c] == c).collect();
+            for &c in &canonical {
+                if self.classes[c].value.is_some() {
+                    continue;
+                }
+                let mut found = None;
+                for node in &self.classes[c].nodes {
+                    if let Some(v) = self.eval(arena, node) {
+                        found = Some(v);
+                        break;
+                    }
+                }
+                if let Some(v) = found {
+                    self.classes[c].value = Some(v);
+                    folded = true;
+                }
+            }
+            if !folded {
+                break;
+            }
+            changed = true;
+        }
+        // Literal injection: a valued class must contain (be unioned with)
+        // its literal node so congruence can use it.
+        let canonical: Vec<usize> =
+            (0..self.parent.len()).filter(|&c| self.parent[c] == c).collect();
+        for c in canonical {
+            if let Some(v) = self.classes[c].value {
+                let literal = self.add(arena, ENode::Int(v));
+                if self.union(ClassId(c), literal) {
+                    changed = true;
+                }
+            }
+        }
+        changed
+    }
+
+    fn finalize(&mut self) {
+        self.memo.clear();
+        let canonical: Vec<usize> =
+            (0..self.parent.len()).filter(|&c| self.parent[c] == c).collect();
+        for c in canonical {
+            let stale = std::mem::take(&mut self.classes[c].nodes);
+            let mut nodes: Vec<ENode> = stale.iter().map(|n| self.canonicalize(n)).collect();
+            nodes.sort();
+            nodes.dedup();
+            for node in &nodes {
+                self.memo.insert(node.clone(), ClassId(c));
+            }
+            self.classes[c].nodes = nodes;
+        }
+    }
+
+    /// E-matching: every way `pat` can match into `class`, as extensions of
+    /// the given partial bindings.  Bindings bind e-classes (not terms), so
+    /// one match stands for every member term at once.
+    fn match_in_class(&self, pat: &EPat, class: ClassId, partials: Vec<Binding>) -> Vec<Binding> {
+        if partials.is_empty() {
+            return partials;
+        }
+        let class = self.find(class);
+        match pat {
+            EPat::Slot(slot) => partials
+                .into_iter()
+                .filter_map(|mut binding| match binding[*slot as usize] {
+                    Some(bound) => (self.find(bound) == class).then_some(binding),
+                    None => {
+                        binding[*slot as usize] = Some(class);
+                        Some(binding)
+                    }
+                })
+                .collect(),
+            EPat::Int(v) => {
+                let node = ENode::Int(*v);
+                if self.classes[class.0].nodes.contains(&node) {
+                    partials
+                } else {
+                    Vec::new()
+                }
+            }
+            EPat::App(head, args) => {
+                let mut out = Vec::new();
+                for node in &self.classes[class.0].nodes {
+                    if let ENode::App(func, children) = node {
+                        if func == head && children.len() == args.len() {
+                            let mut current = partials.clone();
+                            for (arg, &child) in args.iter().zip(children) {
+                                if current.is_empty() {
+                                    break;
+                                }
+                                current = self.match_in_class(arg, child, current);
+                            }
+                            out.extend(current);
+                        }
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Instantiates a compiled right-hand side under a binding, interning
+    /// its nodes.
+    fn instantiate(&mut self, arena: &TermArena, pat: &EPat, binding: &Binding) -> ClassId {
+        match pat {
+            EPat::Slot(slot) => binding[*slot as usize].expect("rhs slot unbound by lhs match"),
+            EPat::Int(v) => self.add(arena, ENode::Int(*v)),
+            EPat::App(head, args) => {
+                let children: Vec<ClassId> =
+                    args.iter().map(|a| self.instantiate(arena, a, binding)).collect();
+                self.add(arena, ENode::App(*head, children))
+            }
+        }
+    }
+
+    /// Applies `rules` as equations until saturation or the budget runs
+    /// out.  See [`EGraph::run_rules_until`].
+    pub fn run_rules(
+        &mut self,
+        arena: &mut TermArena,
+        rules: &[RewriteRule],
+        budget: &SaturationBudget,
+    ) -> SaturationOutcome {
+        self.run_rules_until(arena, rules, budget, |_| false)
+    }
+
+    /// Applies `rules` as equations until saturation, budget exhaustion, or
+    /// `stop` returns `true` (checked between iterations — callers use it
+    /// to exit as soon as the classes they care about have merged, since a
+    /// merge can never be undone).  The run is deterministic: classes are
+    /// matched in id order, rules in list order, and the hash-cons is never
+    /// iterated.
+    pub fn run_rules_until<F>(
+        &mut self,
+        arena: &mut TermArena,
+        rules: &[RewriteRule],
+        budget: &SaturationBudget,
+        mut stop: F,
+    ) -> SaturationOutcome
+    where
+        F: FnMut(&EGraph) -> bool,
+    {
+        let compiled: Vec<ERule> = rules.iter().map(|r| compile_rule(arena, r)).collect();
+        self.rebuild(arena);
+        let mut iterations = 0;
+        let mut saturated = false;
+        let mut truncated = false;
+        while iterations < budget.max_iterations {
+            if stop(self) {
+                break;
+            }
+            iterations += 1;
+            // Match phase: every rule against every class of the pre-apply
+            // snapshot.
+            let snapshot = self.parent.len();
+            let mut matches: Vec<(usize, ClassId, Binding)> = Vec::new();
+            for c in 0..snapshot {
+                if self.parent[c] != c {
+                    continue;
+                }
+                for (index, rule) in compiled.iter().enumerate() {
+                    let seed = vec![vec![None; rule.slots]];
+                    let mut found = self.match_in_class(&rule.lhs, ClassId(c), seed);
+                    found.sort();
+                    found.dedup();
+                    for binding in found {
+                        matches.push((index, ClassId(c), binding));
+                    }
+                }
+            }
+            // Apply phase: union every match with its instantiated rhs.
+            let mut changed = false;
+            for (index, class, binding) in matches {
+                if self.nodes_created >= budget.max_nodes {
+                    truncated = true;
+                    break;
+                }
+                let rhs_class = self.instantiate(arena, &compiled[index].rhs, &binding);
+                if self.union(class, rhs_class) {
+                    changed = true;
+                }
+            }
+            self.rebuild(arena);
+            if truncated {
+                break;
+            }
+            if !changed {
+                saturated = true;
+                break;
+            }
+        }
+        SaturationOutcome { saturated, iterations, nodes: self.nodes_created }
+    }
+}
+
+/// The outcome of [`check_equalities`]: per-pair equality plus whether the
+/// run reached a fixpoint.  `pair_equal[i] == true` is always sound;
+/// `pair_equal[i] == false` proves distinctness only when `saturated`.
+#[derive(Debug, Clone)]
+pub struct EquivCheck {
+    /// Whether each input pair ended in one e-class.
+    pub pair_equal: Vec<bool>,
+    /// Whether the saturation reached a fixpoint (`false` after a budget
+    /// truncation or an early exit with every pair already merged).
+    pub saturated: bool,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Total e-nodes created.
+    pub nodes: usize,
+}
+
+/// Decides a batch of term equalities by equality saturation over one
+/// shared e-graph: all pairs are interned first (so common subterms are
+/// represented — and rewritten — once), rules run to saturation with an
+/// early exit as soon as every pair has merged.
+pub fn check_equalities(
+    arena: &mut TermArena,
+    rules: &[RewriteRule],
+    pairs: &[(TermId, TermId)],
+    budget: &SaturationBudget,
+) -> EquivCheck {
+    let mut egraph = EGraph::new();
+    let classes: Vec<(ClassId, ClassId)> = pairs
+        .iter()
+        .map(|&(a, b)| (egraph.add_term(arena, a), egraph.add_term(arena, b)))
+        .collect();
+    let outcome = egraph.run_rules_until(arena, rules, budget, |g| {
+        classes.iter().all(|&(a, b)| g.same_class(a, b))
+    });
+    EquivCheck {
+        pair_equal: classes.iter().map(|&(a, b)| egraph.same_class(a, b)).collect(),
+        saturated: outcome.saturated,
+        iterations: outcome.iterations,
+        nodes: outcome.nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h_cancel() -> RewriteRule {
+        RewriteRule::new(
+            "h_cancel",
+            Pattern::app("h", vec![Pattern::app("h", vec![Pattern::var("q")])]),
+            Pattern::var("q"),
+        )
+    }
+
+    #[test]
+    fn saturation_proves_rule_equalities() {
+        let mut arena = TermArena::new();
+        let q0 = arena.symbol("q0");
+        let h1 = arena.app("h", vec![q0]);
+        let h2 = arena.app("h", vec![h1]);
+        let check =
+            check_equalities(&mut arena, &[h_cancel()], &[(h2, q0)], &SaturationBudget::default());
+        assert_eq!(check.pair_equal, vec![true]);
+        // A distinct symbol stays distinct, and the run saturates so the
+        // distinctness is a proof.
+        let r0 = arena.symbol("r0");
+        let check =
+            check_equalities(&mut arena, &[h_cancel()], &[(h2, r0)], &SaturationBudget::default());
+        assert_eq!(check.pair_equal, vec![false]);
+        assert!(check.saturated, "tiny closed system must saturate");
+    }
+
+    #[test]
+    fn congruence_merges_parents_after_union() {
+        let mut arena = TermArena::new();
+        let a = arena.symbol("a");
+        let b = arena.symbol("b");
+        let fa = arena.app("f", vec![a]);
+        let fb = arena.app("f", vec![b]);
+        let gfa = arena.app("g", vec![fa, a]);
+        let gfb = arena.app("g", vec![fb, b]);
+        let mut egraph = EGraph::new();
+        let ca = egraph.add_term(&mut arena, a);
+        let cb = egraph.add_term(&mut arena, b);
+        let cgfa = egraph.add_term(&mut arena, gfa);
+        let cgfb = egraph.add_term(&mut arena, gfb);
+        assert!(!egraph.same_class(cgfa, cgfb));
+        egraph.union(ca, cb);
+        egraph.rebuild(&arena);
+        assert!(egraph.same_class(cgfa, cgfb), "congruence must lift the union");
+    }
+
+    #[test]
+    fn constant_folding_matches_the_rewriter() {
+        let mut arena = TermArena::new();
+        let two = arena.int(2);
+        let three = arena.int(3);
+        let sum = arena.app("+", vec![two, three]);
+        let five = arena.int(5);
+        let mut egraph = EGraph::new();
+        let csum = egraph.add_term(&mut arena, sum);
+        let cfive = egraph.add_term(&mut arena, five);
+        egraph.rebuild(&arena);
+        assert!(egraph.same_class(csum, cfive));
+        assert_eq!(egraph.class_value(csum), Some(5));
+        // Overflow folds to nothing, exactly like `fold_arithmetic`.
+        let max = arena.int(i64::MAX);
+        let one = arena.int(1);
+        let overflow = arena.app("+", vec![max, one]);
+        let cover = egraph.add_term(&mut arena, overflow);
+        egraph.rebuild(&arena);
+        assert_eq!(egraph.class_value(cover), None);
+    }
+
+    #[test]
+    fn late_folding_propagates_through_unions() {
+        // +(f(a), 3) folds only once a rule reveals f(a) = 2.
+        let mut arena = TermArena::new();
+        let a = arena.symbol("a");
+        let fa = arena.app("f", vec![a]);
+        let three = arena.int(3);
+        let sum = arena.app("+", vec![fa, three]);
+        let five = arena.int(5);
+        let rule = RewriteRule::new(
+            "f_is_two",
+            Pattern::app("f", vec![Pattern::var("x")]),
+            Pattern::int(2),
+        );
+        let check =
+            check_equalities(&mut arena, &[rule], &[(sum, five)], &SaturationBudget::default());
+        assert_eq!(check.pair_equal, vec![true]);
+    }
+
+    #[test]
+    fn budget_truncation_is_reported_and_never_proves() {
+        // f(x) -> f(s(x)) mints a fresh s-chain forever (unlike
+        // f(x) -> f(f(x)), which an e-graph closes into one cyclic class):
+        // the run must stop at the budget and report `saturated: false`, so
+        // the caller answers "undecided" rather than "distinct" (and
+        // certainly not "equal").
+        let grow = RewriteRule::new(
+            "grow",
+            Pattern::app("f", vec![Pattern::var("x")]),
+            Pattern::app("f", vec![Pattern::app("s", vec![Pattern::var("x")])]),
+        );
+        let mut arena = TermArena::new();
+        let a = arena.symbol("a");
+        let b = arena.symbol("b");
+        let fa = arena.app("f", vec![a]);
+        let fb = arena.app("f", vec![b]);
+        let budget = SaturationBudget { max_nodes: 64, max_iterations: 8 };
+        let check = check_equalities(&mut arena, &[grow], &[(fa, fb)], &budget);
+        assert!(!check.saturated, "a growing rule set cannot saturate");
+        assert_eq!(check.pair_equal, vec![false], "truncation must not fabricate a merge");
+        assert!(check.nodes <= 64 + 8, "node budget must bound growth");
+    }
+
+    #[test]
+    fn shared_subterms_are_interned_once() {
+        let mut arena = TermArena::new();
+        let q = arena.symbol("q0");
+        let h1 = arena.app("h", vec![q]);
+        let g1 = arena.app("g", vec![h1, h1]);
+        let mut egraph = EGraph::new();
+        egraph.add_term(&mut arena, g1);
+        // q0, h(q0), g(h(q0), h(q0)): three distinct nodes, no duplicates.
+        assert_eq!(egraph.num_nodes(), 3);
+        assert_eq!(egraph.num_classes(), 3);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = || {
+            let mut arena = TermArena::new();
+            let q0 = arena.symbol("q0");
+            let x1 = arena.app("x", vec![q0]);
+            let x2 = arena.app("x", vec![x1]);
+            let h1 = arena.app("h", vec![x2]);
+            let h2 = arena.app("h", vec![h1]);
+            let rules = vec![
+                h_cancel(),
+                RewriteRule::new(
+                    "x_cancel",
+                    Pattern::app("x", vec![Pattern::app("x", vec![Pattern::var("q")])]),
+                    Pattern::var("q"),
+                ),
+            ];
+            let mut egraph = EGraph::new();
+            let a = egraph.add_term(&mut arena, h2);
+            let b = egraph.add_term(&mut arena, q0);
+            let outcome = egraph.run_rules(&mut arena, &rules, &SaturationBudget::default());
+            (egraph.same_class(a, b), outcome.saturated, outcome.iterations, outcome.nodes)
+        };
+        let first = run();
+        assert!(first.0, "h(h(x(x(q)))) = q under both cancellation rules");
+        assert!(first.1);
+        assert_eq!(first, run());
+    }
+}

@@ -1,0 +1,225 @@
+//! Differential property tests for the equality-saturation engine.
+//!
+//! `smtlite::check_equalities` (the e-graph behind `--backend saturate`)
+//! must agree with the naive reference rewriter wherever directed rewriting
+//! can decide equality: whenever `reference_normalize` sends two random
+//! terms to the same normal form under a random terminating rule set, the
+//! saturated e-graph must have merged them.  (The converse is deliberately
+//! not asserted — an e-graph closes the rule set as an equational theory,
+//! so an ambiguous rule pair like `f(x) -> 1` / `f(x) -> 2` merges classes
+//! that directed rewriting keeps apart.)
+//!
+//! Truncation is also pinned down: merges performed under a small budget
+//! are a prefix of the merges under a large one (the saturation loop is
+//! deterministic, so a budget only cuts later iterations), and a budget
+//! that stops saturation must say so in the outcome — the saturate backend
+//! relies on that flag never lying when it falls back to the exact
+//! per-wire check.
+
+use giallar::smt::{
+    check_equalities, reference_normalize, Pattern, RewriteRule, SaturationBudget, TermArena,
+    TermId,
+};
+use proptest::prelude::*;
+
+/// Function vocabulary shared with the rewriter differential suite: small,
+/// so random rules and random terms collide often.
+const FUNCS: &[(&str, usize)] = &[("f", 1), ("g", 1), ("h", 2), ("k", 2), ("m", 3), ("c", 0)];
+const CONSTS: &[&str] = &["a", "b", "q0"];
+const VARS: &[&str] = &["x", "y", "z"];
+
+type Op = (u32, u32);
+
+/// Builds a term from a deterministic op list (leaves push, applications
+/// pop their arity).
+fn build_term(arena: &mut TermArena, ops: &[Op]) -> TermId {
+    let mut stack: Vec<TermId> = Vec::new();
+    for &(select, detail) in ops {
+        match select % 3 {
+            0 => {
+                let name = CONSTS[detail as usize % CONSTS.len()];
+                stack.push(arena.symbol(name));
+            }
+            1 => stack.push(arena.int(i64::from(detail % 5))),
+            _ => {
+                let (func, arity) = FUNCS[detail as usize % FUNCS.len()];
+                if stack.len() >= arity {
+                    let args = stack.split_off(stack.len() - arity);
+                    stack.push(arena.app(func, args));
+                } else {
+                    stack.push(arena.symbol(CONSTS[0]));
+                }
+            }
+        }
+    }
+    match stack.pop() {
+        Some(top) => top,
+        None => arena.symbol(CONSTS[0]),
+    }
+}
+
+/// Builds an App-rooted left-hand pattern (same stack machine, with
+/// pattern variables allowed at the leaves).
+fn build_lhs(ops: &[Op], root: u32) -> Pattern {
+    let mut stack: Vec<Pattern> = Vec::new();
+    for &(select, detail) in ops {
+        match select % 4 {
+            0 => stack.push(Pattern::var(VARS[detail as usize % VARS.len()])),
+            1 => stack.push(Pattern::int(i64::from(detail % 5))),
+            2 => stack.push(Pattern::constant(CONSTS[detail as usize % CONSTS.len()])),
+            _ => {
+                let (func, arity) = FUNCS[detail as usize % FUNCS.len()];
+                if stack.len() >= arity {
+                    let args = stack.split_off(stack.len() - arity);
+                    stack.push(Pattern::app(func, args));
+                } else {
+                    stack.push(Pattern::var(VARS[0]));
+                }
+            }
+        }
+    }
+    let (func, arity) = FUNCS[root as usize % FUNCS.len()];
+    let mut args = Vec::new();
+    for i in 0..arity {
+        args.push(stack.pop().unwrap_or_else(|| Pattern::var(VARS[i % VARS.len()])));
+    }
+    Pattern::app(func, args)
+}
+
+/// Builds a strictly size-decreasing rule (rhs is a bound variable or an
+/// integer literal), so reference rewriting terminates and e-graph
+/// saturation always reaches closure.
+fn build_rule(index: usize, lhs_ops: &[Op], root: u32, rhs_pick: u32) -> RewriteRule {
+    let lhs = build_lhs(lhs_ops, root);
+    let vars = lhs.variables();
+    let rhs = if vars.is_empty() || rhs_pick.is_multiple_of(3) {
+        Pattern::int(i64::from(rhs_pick % 7))
+    } else {
+        Pattern::var(&vars[rhs_pick as usize % vars.len()])
+    };
+    RewriteRule::new(&format!("rule_{index}"), lhs, rhs)
+}
+
+fn ops_strategy(max_len: usize) -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec((0u32..1000, 0u32..1000), 1..max_len)
+}
+
+fn rules_strategy() -> impl Strategy<Value = Vec<RewriteRule>> {
+    prop::collection::vec((ops_strategy(8), 0u32..1000, 0u32..1000), 1..12).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(index, (ops, root, rhs_pick))| build_rule(index, &ops, root, rhs_pick))
+            .collect()
+    })
+}
+
+/// A rule that mints a fresh `s(...)` chain on every application, so
+/// saturation genuinely never closes and the budget must truncate.
+fn growing_rule() -> RewriteRule {
+    RewriteRule::new(
+        "grow",
+        Pattern::app("f", vec![Pattern::var("x")]),
+        Pattern::app("f", vec![Pattern::app("s", vec![Pattern::var("x")])]),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Directed-rewriting equality implies saturated e-graph equality:
+    /// every `reference_normalize` proof is a chain of equational steps the
+    /// saturated e-graph has closed over.
+    #[test]
+    fn saturation_subsumes_reference_equality(
+        rules in rules_strategy(),
+        pair_ops in prop::collection::vec((ops_strategy(16), ops_strategy(16)), 1..5),
+    ) {
+        let mut arena = TermArena::new();
+        let pairs: Vec<(TermId, TermId)> = pair_ops
+            .iter()
+            .map(|(lhs_ops, rhs_ops)| {
+                (build_term(&mut arena, lhs_ops), build_term(&mut arena, rhs_ops))
+            })
+            .collect();
+        let reference_equal: Vec<bool> = pairs
+            .iter()
+            .map(|&(a, b)| {
+                reference_normalize(&mut arena, &rules, a)
+                    == reference_normalize(&mut arena, &rules, b)
+            })
+            .collect();
+        let check =
+            check_equalities(&mut arena, &rules, &pairs, &SaturationBudget::default());
+        // Decreasing rules add no fresh structure, so the default budget
+        // always reaches closure — unless every pair merged first, which
+        // legitimately exits early with `saturated == false`.
+        prop_assert!(
+            check.saturated || check.pair_equal.iter().all(|&equal| equal),
+            "decreasing rules must saturate (or exit early with all pairs merged)"
+        );
+        for (index, &(a, b)) in pairs.iter().enumerate() {
+            if reference_equal[index] {
+                prop_assert!(
+                    check.pair_equal[index],
+                    "pair {index}: `{}` = `{}` under the reference rewriter but the \
+                     saturated e-graph did not merge them",
+                    arena.display(a),
+                    arena.display(b)
+                );
+            }
+        }
+    }
+
+    /// Budget truncation is honest and monotone: a non-saturating rule set
+    /// must be reported as truncated, and every merge the truncated run
+    /// performs is also performed by a larger budget (the saturation loop
+    /// is deterministic, so a budget only cuts later iterations — it can
+    /// never fabricate an equality the full run would not prove).
+    #[test]
+    fn truncated_merges_are_a_prefix_of_larger_budgets(
+        rules in rules_strategy(),
+        pair_ops in prop::collection::vec((ops_strategy(12), ops_strategy(12)), 1..4),
+    ) {
+        let mut arena = TermArena::new();
+        let mut pairs: Vec<(TermId, TermId)> = pair_ops
+            .iter()
+            .map(|(lhs_ops, rhs_ops)| {
+                (build_term(&mut arena, lhs_ops), build_term(&mut arena, rhs_ops))
+            })
+            .collect();
+        // Seed a guaranteed `f(...)` redex (as a trivially equal pair) so
+        // the growing rule always has something to chew on.
+        let fa = {
+            let a = arena.symbol("a");
+            arena.app("f", vec![a])
+        };
+        pairs.push((fa, fa));
+        let mut with_growth = rules.clone();
+        with_growth.push(growing_rule());
+        let tiny = check_equalities(
+            &mut arena,
+            &with_growth,
+            &pairs,
+            &SaturationBudget { max_nodes: 64, max_iterations: 2 },
+        );
+        let large = check_equalities(
+            &mut arena,
+            &with_growth,
+            &pairs,
+            &SaturationBudget { max_nodes: 4096, max_iterations: 8 },
+        );
+        for index in 0..pairs.len() {
+            if tiny.pair_equal[index] {
+                prop_assert!(
+                    large.pair_equal[index],
+                    "pair {index}: merged under the tiny budget but not the large one"
+                );
+            }
+        }
+        // The growing rule keeps minting `s(...)` chains off the seeded
+        // redex, so the run either truncates or exits early once every
+        // pair agrees — it can never claim a fixpoint.
+        prop_assert!(!tiny.saturated, "a growing rule set cannot saturate");
+    }
+}

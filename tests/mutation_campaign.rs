@@ -2,7 +2,7 @@
 //! refute every wound the mutation harness can inflict, and every
 //! refutation must carry fault coordinates that land on the wound.
 //!
-//! The full campaign (all mutants, both backends) runs here in debug mode
+//! The full campaign (all mutants, every backend routing) runs here in debug mode
 //! — it is cheap because refutations come from the first failing
 //! obligation.  CI additionally runs `giallar fuzz --seed 0xg1allar` in
 //! release mode and gates the committed `BENCH_bug_detection.json` via
