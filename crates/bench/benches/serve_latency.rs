@@ -2,7 +2,8 @@
 //! `giallar serve` daemon on loopback TCP.
 //!
 //! Prints the scenario table (cold vs warm, pass sweep, concurrent
-//! clients), records the artifact with this machine's p50/p99 percentiles
+//! clients, and the cold/warm/concurrent certify-op streams), records the
+//! artifact with this machine's p50/p99 percentiles
 //! to `BENCH_serve_latency.json` at the workspace root, then drives the
 //! warm round-trip under the Criterion harness.
 //!
@@ -45,7 +46,7 @@ fn bench_serve_latency(c: &mut Criterion) {
     group.bench_function("scenarios", |b| {
         b.iter(|| {
             let rows = serve_latency_rows(1);
-            assert_eq!(rows.len(), 4);
+            assert_eq!(rows.len(), 7);
             rows.len()
         })
     });

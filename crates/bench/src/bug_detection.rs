@@ -17,6 +17,7 @@
 use std::collections::BTreeMap;
 
 use giallar_core::backend::BackendSelection;
+use giallar_core::gen::{run_generative_campaign, GenConfig, GenerativeReport};
 use giallar_core::json::Value;
 use giallar_core::mutate::{
     run_campaign, run_pipeline_campaign, CampaignConfig, CampaignReport, OperatorFamily,
@@ -34,22 +35,42 @@ pub const PIPELINE_DEVICE: &str = "line:6";
 /// Compiler seed for the pipeline campaign (matches the Figure 11 rows).
 pub const PIPELINE_SEED: u64 = 11;
 
+/// Corpus size of the pinned generative campaign behind the committed
+/// artifact and the `fuzz-generative` CI job.  `giallar fuzz --generate`
+/// defaults to the same size but honors the `GIALLAR_FUZZ_CIRCUITS`
+/// environment knob, so nightly runs can widen the corpus without
+/// drifting the committed artifact.
+pub const GENERATIVE_CIRCUITS: usize = 200;
+
+/// The pinned generative configuration behind the `generative` section of
+/// `BENCH_bug_detection.json`: [`GenConfig::pinned`] at the canonical
+/// campaign seed with a [`GENERATIVE_CIRCUITS`]-circuit corpus.
+pub fn pinned_generative_config(seed: u64) -> GenConfig {
+    GenConfig::pinned(seed, GENERATIVE_CIRCUITS)
+}
+
 /// The full bug-detection result: registry campaign plus the end-to-end
-/// pipeline campaign.
+/// pipeline campaign, plus (when configured) the generative campaign over
+/// a random-circuit corpus.
 pub struct BugDetection {
     /// The registry (obligation-level) campaign report.
     pub report: CampaignReport,
     /// The end-to-end pipeline sabotage outcomes.
     pub pipeline: Vec<PipelineOutcome>,
+    /// The generative campaign over a seeded random-circuit corpus
+    /// (`None` for registry-only runs such as `giallar fuzz --pass`).
+    pub generative: Option<GenerativeReport>,
 }
 
 impl BugDetection {
-    /// Surviving *semantic* wounds across both layers: registry mutants
+    /// Surviving *semantic* wounds across all layers: registry mutants
     /// not refuted by every backend routing, plus semantically corrupted
-    /// compilations whose certificates were not refused.
+    /// compilations — fixed-matrix or generatively drawn — whose
+    /// certificates were not refused.
     pub fn survivors(&self) -> usize {
         self.report.survivors().len()
             + self.pipeline.iter().filter(|o| o.semantic && !o.detected).count()
+            + self.generative.as_ref().map_or(0, |g| g.survivors().len())
     }
 }
 
@@ -63,10 +84,21 @@ pub fn pipeline_inputs() -> Vec<PipelineInput> {
     ]
 }
 
-/// Runs both campaign layers with the canonical configuration.  `seed` is
-/// the parsed registry-campaign seed; `max_mutants` bounds the corpus for
-/// sampled runs (`None` in CI and the committed artifact).
-pub fn bug_detection_campaign(seed: u64, max_mutants: Option<usize>) -> BugDetection {
+/// Runs every campaign layer with the canonical configuration.  `seed` is
+/// the parsed registry-campaign seed; `max_mutants` bounds the registry
+/// corpus for sampled runs (`None` in CI and the committed artifact);
+/// `generative` adds the random-circuit campaign when supplied (the
+/// committed artifact uses [`pinned_generative_config`]).
+///
+/// # Panics
+///
+/// Panics when `generative` is an invalid configuration — callers taking
+/// untrusted configurations must [`GenConfig::validate`] first.
+pub fn bug_detection_campaign(
+    seed: u64,
+    max_mutants: Option<usize>,
+    generative: Option<&GenConfig>,
+) -> BugDetection {
     let report = run_campaign(&CampaignConfig { seed, max_mutants, pass_filter: None });
     let pipeline = run_pipeline_campaign(
         &pipeline_inputs(),
@@ -74,7 +106,11 @@ pub fn bug_detection_campaign(seed: u64, max_mutants: Option<usize>) -> BugDetec
         PIPELINE_SEED,
         BackendSelection::Default,
     );
-    BugDetection { report, pipeline }
+    let generative = generative.map(|config| {
+        run_generative_campaign(config, PIPELINE_DEVICE, PIPELINE_SEED)
+            .expect("generative campaign configuration must be valid")
+    });
+    BugDetection { report, pipeline, generative }
 }
 
 /// Per-family aggregate of the registry campaign.
@@ -182,7 +218,7 @@ pub fn bug_detection_artifact_json(result: &BugDetection, include_timings: bool)
         .collect();
     let pipeline_semantic = result.pipeline.iter().filter(|o| o.semantic).count();
     let pipeline_detected = result.pipeline.iter().filter(|o| o.detected).count();
-    Value::object(vec![
+    let mut members = vec![
         ("benchmark", Value::String("bug_detection".to_string())),
         ("schema", Value::String("giallar-bench/v2".to_string())),
         ("seed", Value::String(CAMPAIGN_SEED.to_string())),
@@ -195,6 +231,8 @@ pub fn bug_detection_artifact_json(result: &BugDetection, include_timings: bool)
             "summary",
             Value::object(vec![
                 ("mutants", Value::Int(report.total() as i64)),
+                ("enumerated", Value::Int(report.enumerated as i64)),
+                ("truncated", Value::Bool(report.truncated())),
                 ("detected", Value::Int(report.detected() as i64)),
                 ("detection_rate", Value::Float(report.detection_rate())),
                 ("explanation_quality", Value::Float(report.explanation_quality())),
@@ -216,8 +254,14 @@ pub fn bug_detection_artifact_json(result: &BugDetection, include_timings: bool)
             ]),
         ),
         ("mutants", Value::Array(mutants)),
-    ])
-    .to_pretty()
+    ];
+    if let Some(generative) = &result.generative {
+        // Keep the large per-mutant array last: insert the generative
+        // section between the pipeline summary and the mutant rows.
+        let at = members.len() - 1;
+        members.insert(at, ("generative", generative.to_json(include_timings)));
+    }
+    Value::object(members).to_pretty()
 }
 
 /// Renders the campaign as a text table (the `giallar fuzz --format table`
@@ -257,6 +301,14 @@ pub fn bug_detection_text(result: &BugDetection) -> String {
         report.skipped_equivalent,
         report.skipped_unknown,
     ));
+    if report.truncated() {
+        out.push_str(&format!(
+            "registry: TRUNCATED — --mutants capped the campaign to the first {} of {} \
+             enumerated mutants\n",
+            report.total(),
+            report.enumerated,
+        ));
+    }
     let semantic = result.pipeline.iter().filter(|o| o.semantic).count();
     let detected = result.pipeline.iter().filter(|o| o.detected).count();
     out.push_str(&format!(
@@ -269,6 +321,10 @@ pub fn bug_detection_text(result: &BugDetection) -> String {
             out.push_str(&format!("  SURVIVOR: {} / {}\n", o.circuit, o.fault));
         }
     }
+    if let Some(generative) = &result.generative {
+        out.push('\n');
+        out.push_str(&generative.text(false));
+    }
     out
 }
 
@@ -279,9 +335,10 @@ mod tests {
 
     #[test]
     fn sampled_artifact_is_deterministic_and_timing_gated() {
-        let result = bug_detection_campaign(parse_seed(CAMPAIGN_SEED), Some(12));
+        let result = bug_detection_campaign(parse_seed(CAMPAIGN_SEED), Some(12), None);
         assert_eq!(result.report.total(), 12);
         assert_eq!(result.survivors(), 0, "sampled campaign has survivors");
+        assert!(result.report.truncated(), "12 mutants must be a truncating cap");
 
         let bare = bug_detection_artifact_json(&result, false);
         assert!(!bare.contains("_seconds"));
@@ -292,10 +349,56 @@ mod tests {
         assert_eq!(crate::strip_timing(&timed_doc), crate::strip_timing(&bare_doc));
         assert_eq!(crate::strip_timing(&bare_doc), bare_doc);
 
+        // A truncated corpus must say so on every surface (no silent caps).
+        let summary = bare_doc.get("summary").unwrap();
+        assert_eq!(summary.get("truncated").and_then(Value::as_bool), Some(true));
+        assert!(
+            summary.get("enumerated").and_then(Value::as_int).unwrap() > 12,
+            "enumerated must report the pre-truncation corpus size"
+        );
+
         let text = bug_detection_text(&result);
         assert!(text.contains("registry:"));
         assert!(text.contains("pipeline:"));
+        assert!(text.contains("TRUNCATED") && text.contains("first 12 of"));
         assert!(!text.contains("SURVIVOR"));
+    }
+
+    #[test]
+    fn untruncated_campaign_reports_no_truncation() {
+        let result = bug_detection_campaign(parse_seed(CAMPAIGN_SEED), None, None);
+        assert!(!result.report.truncated());
+        assert_eq!(result.report.enumerated, result.report.total());
+        let doc = giallar_core::json::parse(&bug_detection_artifact_json(&result, false)).unwrap();
+        let summary = doc.get("summary").unwrap();
+        assert_eq!(summary.get("truncated").and_then(Value::as_bool), Some(false));
+        assert_eq!(
+            summary.get("enumerated").and_then(Value::as_int),
+            summary.get("mutants").and_then(Value::as_int)
+        );
+        assert!(!bug_detection_text(&result).contains("TRUNCATED"));
+    }
+
+    #[test]
+    fn generative_section_is_embedded_and_timing_gated() {
+        let config = GenConfig::pinned(parse_seed(CAMPAIGN_SEED), 4);
+        let result = bug_detection_campaign(parse_seed(CAMPAIGN_SEED), Some(6), Some(&config));
+        let generative = result.generative.as_ref().unwrap();
+        assert_eq!(generative.generated, 4);
+        assert!(generative.survivors().is_empty(), "generative campaign has survivors");
+        assert_eq!(result.survivors(), 0);
+
+        let bare = bug_detection_artifact_json(&result, false);
+        assert!(!bare.contains("_seconds"));
+        let bare_doc = giallar_core::json::parse(&bare).unwrap();
+        let section = bare_doc.get("generative").expect("generative section missing");
+        assert_eq!(section.get("schema").and_then(Value::as_str), Some("giallar-genfuzz/v1"));
+        let timed_doc =
+            giallar_core::json::parse(&bug_detection_artifact_json(&result, true)).unwrap();
+        assert_eq!(crate::strip_timing(&timed_doc), crate::strip_timing(&bare_doc));
+
+        let text = bug_detection_text(&result);
+        assert!(text.contains("generative campaign:"));
     }
 
     #[test]

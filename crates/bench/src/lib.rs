@@ -10,8 +10,8 @@ pub mod bug_detection;
 pub mod serve_latency;
 
 pub use bug_detection::{
-    bug_detection_artifact_json, bug_detection_campaign, bug_detection_text, pipeline_inputs,
-    BugDetection, CAMPAIGN_SEED,
+    bug_detection_artifact_json, bug_detection_campaign, bug_detection_text,
+    pinned_generative_config, pipeline_inputs, BugDetection, CAMPAIGN_SEED, GENERATIVE_CIRCUITS,
 };
 pub use serve_latency::{
     serve_latency_artifact_json, serve_latency_rows, serve_latency_text, ServeLatencyRow,

@@ -2,7 +2,7 @@
 //!
 //! Replays registry-shaped request streams against a real `giallar serve`
 //! daemon on a loopback TCP socket and records request-latency percentiles.
-//! Four scenarios:
+//! Seven scenarios:
 //!
 //! * `cold/full_registry` — a fresh daemon per sample: the request pays the
 //!   full 104-obligation discharge (obligations and fingerprints are already
@@ -15,9 +15,20 @@
 //!   against a warm daemon (the shape of the serve-smoke CI job).
 //! * `warm/concurrent_clients` — four client threads firing full-registry
 //!   requests at once, exercising dispatch batching and shard contention.
+//! * `certify/cold_stream` — a sustained `certify` op stream where every
+//!   request carries a fresh compile seed: the seed is part of the
+//!   certificate's cache key, so each request pays a full compile +
+//!   certificate emission (`cached: false`).
+//! * `certify/warm_stream` — the same certify request repeated at one
+//!   pinned seed: after the prewarm, every verdict answers from the
+//!   resident certificate cache (`cached: true`).
+//! * `certify/concurrent_clients` — four client threads firing warm
+//!   certify requests at once, mixing the certify op into the daemon's
+//!   dispatch and shard contention story.
 //!
 //! The structural content of every row (scenario name, per-request hit and
-//! miss counts) is deterministic and drift-checked by `giallar bench
+//! miss counts — for certify scenarios the resident-cache `cached` flag,
+//! mapped to 1/0) is deterministic and drift-checked by `giallar bench
 //! --check`; the percentile measurements live in per-row `timing` sections
 //! that the check strips (see [`crate::strip_timing`]).
 
@@ -33,6 +44,17 @@ use giallar_serve::Client;
 
 /// Total obligations across the 44-pass registry (Table 2).
 const REGISTRY_SUBGOALS: usize = 104;
+
+/// Device every certify-scenario request compiles for.
+const CERTIFY_DEVICE: &str = "falcon27";
+
+/// Pinned compile seed of the warm certify scenarios (cold requests draw a
+/// fresh seed per request — the seed is part of the certificate cache key).
+const CERTIFY_SEED: u64 = 7;
+
+/// Base of the per-request fresh seeds in `certify/cold_stream`, far from
+/// any seed other scenarios or tests pin.
+const CERTIFY_COLD_SEED_BASE: u64 = 9_000;
 
 /// One measured scenario of the serve-latency harness.
 #[derive(Debug, Clone)]
@@ -88,13 +110,40 @@ fn timed_verify(
     elapsed
 }
 
+/// One timed `certify` round-trip; asserts the scenario's deterministic
+/// resident-cache shape (`cached`) so a certificate-caching regression
+/// fails the harness instead of skewing it.
+fn timed_certify(client: &mut Client, circuit: &str, seed: u64, expect_cached: bool) -> f64 {
+    let start = Instant::now();
+    let result = client
+        .certify(circuit, CERTIFY_DEVICE, seed, BackendSelection::Default)
+        .expect("served certify");
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        result.get("cached").and_then(Value::as_bool),
+        Some(expect_cached),
+        "certify cache shape drifted"
+    );
+    elapsed
+}
+
+/// The smallest named QASMBench circuit: the certify scenarios measure the
+/// daemon's op dispatch and certificate caching, not compile scaling.
+fn certify_circuit() -> String {
+    qasmbench::benchmark_suite()
+        .into_iter()
+        .min_by_key(|b| (b.circuit.num_qubits(), b.circuit.size()))
+        .expect("benchmark suite is not empty")
+        .name
+}
+
 fn shutdown(addr: &str, handle: std::thread::JoinHandle<std::io::Result<()>>) {
     let mut client = Client::connect(addr).expect("connect for shutdown");
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread").expect("server run");
 }
 
-/// Runs the four serve-latency scenarios with `samples` measured requests
+/// Runs the seven serve-latency scenarios with `samples` measured requests
 /// each (clamped to at least 1).
 pub fn serve_latency_rows(samples: usize) -> Vec<ServeLatencyRow> {
     let samples = samples.max(1);
@@ -159,6 +208,52 @@ pub fn serve_latency_rows(samples: usize) -> Vec<ServeLatencyRow> {
         }
     });
     rows.push(row("warm/concurrent_clients", REGISTRY_SUBGOALS, 0, &mut concurrent));
+
+    // --- certify/cold_stream: a fresh compile seed per request, so every
+    // request misses the resident certificate cache and pays the full
+    // compile + certificate emission.
+    let circuit = certify_circuit();
+    let mut certify_cold = Vec::with_capacity(samples);
+    for i in 0..samples {
+        certify_cold.push(timed_certify(
+            &mut client,
+            &circuit,
+            CERTIFY_COLD_SEED_BASE + i as u64,
+            false,
+        ));
+    }
+    rows.push(row("certify/cold_stream", 0, 1, &mut certify_cold));
+
+    // --- certify/warm_stream: one pinned seed, prewarmed, so every
+    // measured request answers from the resident certificate cache.
+    timed_certify(&mut client, &circuit, CERTIFY_SEED, false); // prewarm
+    let mut certify_warm = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        certify_warm.push(timed_certify(&mut client, &circuit, CERTIFY_SEED, true));
+    }
+    rows.push(row("certify/warm_stream", 1, 0, &mut certify_warm));
+
+    // --- certify/concurrent_clients: four clients firing warm certify
+    // requests at once.
+    let mut certify_concurrent = Vec::new();
+    std::thread::scope(|scope| {
+        let joins: Vec<_> = (0..threads)
+            .map(|_| {
+                let addr = addr.clone();
+                let circuit = circuit.clone();
+                scope.spawn(move || {
+                    let mut client = Client::connect(&addr).expect("connect");
+                    (0..samples)
+                        .map(|_| timed_certify(&mut client, &circuit, CERTIFY_SEED, true))
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        for join in joins {
+            certify_concurrent.extend(join.join().expect("client thread"));
+        }
+    });
+    rows.push(row("certify/concurrent_clients", 1, 0, &mut certify_concurrent));
 
     shutdown(&addr, handle);
     rows
@@ -255,10 +350,19 @@ mod tests {
     #[test]
     fn scenarios_run_and_the_artifact_is_deterministic() {
         let rows = serve_latency_rows(1);
-        assert_eq!(rows.len(), 4);
+        assert_eq!(rows.len(), 7);
         assert_eq!(rows[0].name, "cold/full_registry");
         assert_eq!((rows[0].hits, rows[0].misses), (0, REGISTRY_SUBGOALS));
-        assert!(rows.iter().skip(1).all(|r| r.misses == 0), "warm scenarios never miss");
+        assert!(
+            rows.iter().filter(|r| r.name.starts_with("warm/")).all(|r| r.misses == 0),
+            "warm scenarios never miss"
+        );
+        let cold_certify = rows.iter().find(|r| r.name == "certify/cold_stream").unwrap();
+        assert_eq!((cold_certify.hits, cold_certify.misses), (0, 1));
+        for name in ["certify/warm_stream", "certify/concurrent_clients"] {
+            let warm_certify = rows.iter().find(|r| r.name == name).unwrap();
+            assert_eq!((warm_certify.hits, warm_certify.misses), (1, 0), "{name}");
+        }
         assert!(rows.iter().all(|r| r.p50_seconds > 0.0 && r.p99_seconds >= r.p50_seconds));
 
         let bare = serve_latency_artifact_json(&rows, false);
@@ -269,5 +373,6 @@ mod tests {
         assert_eq!(crate::strip_timing(&timed_doc), crate::strip_timing(&bare_doc));
         assert_eq!(crate::strip_timing(&bare_doc), bare_doc);
         assert!(serve_latency_text(&rows).contains("warm/full_registry"));
+        assert!(serve_latency_text(&rows).contains("certify/cold_stream"));
     }
 }

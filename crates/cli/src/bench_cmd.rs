@@ -87,7 +87,11 @@ pub fn run(args: &[String]) -> CmdResult {
     let certify = certify_rows(&device, "falcon27", seed);
     let certify_overhead = certify_artifact_json("falcon27", seed, &certify, timings);
 
-    let campaign = bug_detection_campaign(parse_seed(CAMPAIGN_SEED), None);
+    let campaign = bug_detection_campaign(
+        parse_seed(CAMPAIGN_SEED),
+        None,
+        Some(&bench::pinned_generative_config(parse_seed(CAMPAIGN_SEED))),
+    );
     let bug_detection = bug_detection_artifact_json(&campaign, timings);
 
     let artifacts: [(&str, &str); 6] = [
@@ -112,16 +116,21 @@ pub fn run(args: &[String]) -> CmdResult {
             .map_err(|error| CmdError::Failed(format!("writing {}: {error}", path.display())))?;
         println!("wrote {}", path.display());
     }
+    let generative = campaign.generative.as_ref().expect("bench always runs generative");
     println!(
         "table2: {} passes, {verified} verified; figure11: {} circuits; microbench: {} \
-         workloads; serve: {} scenarios; certify: {} certificates; fuzz: {}/{} mutants detected",
+         workloads; serve: {} scenarios; certify: {} certificates; fuzz: {}/{} mutants \
+         detected; generative: {}/{} semantic faults refused over {} circuits",
         reports.len(),
         rows.len(),
         micro_rows.len(),
         serve_rows.len(),
         certify.len(),
         campaign.report.detected(),
-        campaign.report.total()
+        campaign.report.total(),
+        generative.refused(),
+        generative.semantic(),
+        generative.generated,
     );
 
     if verified != reports.len() {

@@ -125,6 +125,18 @@ SUBCOMMANDS:
         --format <fmt>         table (default) | json (the BENCH artifact)
         --timings              include machine-dependent timing sections
         --no-pipeline          skip the end-to-end sabotage leg
+        --generate             generative campaign instead: compile a seeded
+                               random-circuit corpus, wound each compilation
+                               with a drawn sabotage matrix, require every
+                               backend to refuse each semantic fault, and
+                               delta-debug any survivor to a minimal edit
+        --circuits <n>         corpus size (default 200, or the
+                               GIALLAR_FUZZ_CIRCUITS environment variable)
+        --width <n>            max register width, 2..=device width
+                               (default 5)
+        --depth <n>            max drawn gate count, 1..=512 (default 16)
+        --alphabet <name>      gate alphabet: basis | clifford+t | full |
+                               all (default: all, cycling per circuit)
     serve      run the resident verification daemon (giallar-serve/v2;
                                bare v1 client lines still served)
         --listen <spec>        TCP address (default 127.0.0.1:7411) or

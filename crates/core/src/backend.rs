@@ -468,8 +468,8 @@ impl ReferenceBackend {
                 return Verdict::refuted_at(
                     format!(
                         "qubit {logical} differs: terms have distinct normal forms: `{}` vs `{}`",
-                        arena.display(na),
-                        arena.display(nb)
+                        arena.display_clamped(na, smtlite::MAX_EXPLANATION_NODES),
+                        arena.display_clamped(nb, smtlite::MAX_EXPLANATION_NODES)
                     ),
                     FaultSite::Wire { wire: logical },
                 );
@@ -555,8 +555,8 @@ impl SolverBackend for ReferenceBackend {
                     format!(
                         "qubit {logical} differs: terms have distinct normal forms: \
                          `{}` vs `{}`",
-                        arena.display(na),
-                        arena.display(nb)
+                        arena.display_clamped(na, smtlite::MAX_EXPLANATION_NODES),
+                        arena.display_clamped(nb, smtlite::MAX_EXPLANATION_NODES)
                     ),
                     FaultSite::Wire { wire: logical },
                 );

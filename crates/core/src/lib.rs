@@ -46,6 +46,11 @@
 //!   map, per-wire equivalence evidence) that an independent
 //!   [`certificate::check_certificate`] run re-validates, refusing any
 //!   tampering.
+//! * [`gen`] — the generative fuzz campaign: a seeded random-circuit
+//!   generator over gate-alphabet presets, randomly drawn
+//!   [`qc_passes::inject::SabotagePass`] fault matrices, a certify/check
+//!   oracle across every solver backend, and a delta-debug shrinker that
+//!   reduces any surviving counterexample to a minimal wounding edit.
 //! * [`cache`] — the incremental verification cache: per-**obligation**
 //!   verdicts keyed by a stable fingerprint of the obligation's canonical
 //!   form, the rewrite-rule library, and the discharging backend id,
@@ -80,6 +85,7 @@ pub mod batch;
 pub mod cache;
 pub mod case_studies;
 pub mod certificate;
+pub mod gen;
 pub mod json;
 pub mod library;
 pub mod mutate;
@@ -100,10 +106,15 @@ pub use certificate::{
     certify_compilation, check_certificate, circuit_fingerprint, end_to_end_wire_map,
     EquivalenceCertificate, CERT_SCHEMA,
 };
+pub use gen::{
+    draw_faults, fault_family, generate_circuit, generate_corpus, run_generative_campaign,
+    shrink_case, GateAlphabet, GenCase, GenConfig, GenerativeOutcome, GenerativeReport, ShrinkCase,
+    ShrunkSurvivor,
+};
 pub use mutate::{
     enumerate_mutants, parse_seed, run_campaign, run_pipeline_campaign, BackendRun, CampaignConfig,
     CampaignReport, Expectation, Mutant, MutantEnumeration, MutantOutcome, OperatorFamily,
-    PipelineInput, PipelineOutcome,
+    PipelineInput, PipelineOutcome, XorShift,
 };
 pub use obligation::{Goal, PassClass, ProofObligation};
 pub use registry::{verified_passes, VerifiedPass};

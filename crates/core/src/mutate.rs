@@ -70,7 +70,7 @@ pub fn parse_seed(text: &str) -> u64 {
 }
 
 /// FNV-1a over bytes (the seed hash; stable across platforms).
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -79,17 +79,20 @@ fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// A tiny deterministic PRNG (xorshift64*) for segment instantiation; the
-/// campaign never needs statistical quality, only platform-stable variety.
-struct XorShift(u64);
+/// A tiny deterministic PRNG (xorshift64*) for segment instantiation and
+/// the generative corpus; the campaigns never need statistical quality,
+/// only platform-stable variety.
+pub struct XorShift(u64);
 
 impl XorShift {
-    fn new(seed: u64) -> Self {
-        // Avoid the all-zeros fixed point.
+    /// Creates a generator from `seed` (the all-zeros fixed point is
+    /// avoided by forcing the low bit).
+    pub fn new(seed: u64) -> Self {
         XorShift(seed | 1)
     }
 
-    fn next_u64(&mut self) -> u64 {
+    /// The next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
         let mut x = self.0;
         x ^= x >> 12;
         x ^= x << 25;
@@ -98,7 +101,8 @@ impl XorShift {
         x.wrapping_mul(0x2545_f491_4f6c_dd1d)
     }
 
-    fn below(&mut self, n: usize) -> usize {
+    /// A draw uniform in `0..n` (`0` when `n` is zero).
+    pub fn below(&mut self, n: usize) -> usize {
         (self.next_u64() % n.max(1) as u64) as usize
     }
 }
@@ -833,6 +837,11 @@ pub struct CampaignReport {
     pub seed: u64,
     /// Per-mutant outcomes, in enumeration order.
     pub outcomes: Vec<MutantOutcome>,
+    /// How many genuine mutants the enumeration produced *before* any
+    /// `max_mutants` truncation — when this exceeds `outcomes.len()` the
+    /// campaign covered only an enumeration-order prefix, and every report
+    /// surface must say so (no silent caps).
+    pub enumerated: usize,
     /// Candidates rejected as equivalent mutants.
     pub skipped_equivalent: usize,
     /// Candidates the numeric oracle could not decide.
@@ -843,6 +852,12 @@ impl CampaignReport {
     /// Number of mutants run.
     pub fn total(&self) -> usize {
         self.outcomes.len()
+    }
+
+    /// Whether `max_mutants` truncated the campaign to a prefix of the
+    /// enumeration.
+    pub fn truncated(&self) -> bool {
+        self.enumerated > self.outcomes.len()
     }
 
     /// Number of detected (refuted-by-both-backends) mutants.
@@ -947,6 +962,7 @@ fn run_mutant(mutant: &Mutant) -> MutantOutcome {
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let enumeration = enumerate_mutants(config.seed, config.pass_filter.as_deref());
     let mut mutants = enumeration.mutants;
+    let enumerated = mutants.len();
     if let Some(max) = config.max_mutants {
         mutants.truncate(max);
     }
@@ -954,6 +970,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     CampaignReport {
         seed: config.seed,
         outcomes,
+        enumerated,
         skipped_equivalent: enumeration.skipped_equivalent,
         skipped_unknown: enumeration.skipped_unknown,
     }

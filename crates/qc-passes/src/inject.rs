@@ -50,6 +50,27 @@ pub enum PipelineFault {
         /// Second physical wire.
         b: usize,
     },
+    /// Move the first operand of the gate at `index` (mod gate count) onto
+    /// a different wire, `offset` steps away (mod width) — the pass wrote
+    /// its rewrite to the wrong qubit.  If every candidate wire collides
+    /// with another operand of the same gate the fault degenerates to a
+    /// no-op.
+    RetargetGate {
+        /// Index of the gate whose operand is moved.
+        index: usize,
+        /// How many wires to shift the first operand by.
+        offset: usize,
+    },
+    /// Append a stray `CX a,b` (mod width) that the honest pipeline never
+    /// emitted — entangling corruption that typically also violates the
+    /// device coupling map.  Degenerates to a no-op on circuits narrower
+    /// than two wires.
+    InsertStrayCx {
+        /// Control wire of the stray CX.
+        a: usize,
+        /// Target wire of the stray CX.
+        b: usize,
+    },
 }
 
 impl PipelineFault {
@@ -65,6 +86,10 @@ impl PipelineFault {
             PipelineFault::CorruptFinalLayout { a, b } => {
                 format!("corrupt final layout (swap physical {a},{b})")
             }
+            PipelineFault::RetargetGate { index, offset } => {
+                format!("retarget gate {index} (+{offset} wires)")
+            }
+            PipelineFault::InsertStrayCx { a, b } => format!("insert stray cx {a},{b}"),
         }
     }
 }
@@ -106,6 +131,25 @@ impl TranspilerPass for SabotagePass {
         }
         let circuit = dag.to_circuit()?;
         let mut gates: Vec<_> = circuit.gates().to_vec();
+        if let PipelineFault::InsertStrayCx { a, b } = self.fault {
+            let n = circuit.num_qubits();
+            if n < 2 {
+                return Ok(());
+            }
+            let a = a % n;
+            let mut b = b % n;
+            if a == b {
+                b = (b + 1) % n;
+            }
+            gates.push(qc_ir::Gate::new(GateKind::CX, vec![a, b]));
+            let mut wounded =
+                qc_ir::Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
+            for gate in gates {
+                wounded.push(gate)?;
+            }
+            *dag = DagCircuit::from_circuit(&wounded);
+            return Ok(());
+        }
         if gates.is_empty() {
             return Ok(());
         }
@@ -138,7 +182,31 @@ impl TranspilerPass for SabotagePass {
                 let at = cx_positions[nth % cx_positions.len()];
                 gates[at].qubits.reverse();
             }
-            PipelineFault::CorruptFinalLayout { .. } => unreachable!("handled above"),
+            PipelineFault::RetargetGate { index, offset } => {
+                let n = circuit.num_qubits();
+                let at = index % gates.len();
+                let operands = gates[at].qubits.clone();
+                if !operands.is_empty() && n >= 2 {
+                    let from = operands[0];
+                    let mut shift = offset % n;
+                    if shift == 0 {
+                        shift = 1;
+                    }
+                    // Rotate past wires already used by this gate's other
+                    // operands so the wounded gate stays well-formed.
+                    for _ in 0..n {
+                        let to = (from + shift) % n;
+                        if to != from && !operands[1..].contains(&to) {
+                            gates[at].qubits[0] = to;
+                            break;
+                        }
+                        shift += 1;
+                    }
+                }
+            }
+            PipelineFault::CorruptFinalLayout { .. } | PipelineFault::InsertStrayCx { .. } => {
+                unreachable!("handled above")
+            }
         }
         let mut wounded = qc_ir::Circuit::with_clbits(circuit.num_qubits(), circuit.num_clbits());
         for gate in gates {
@@ -190,12 +258,45 @@ mod tests {
     }
 
     #[test]
+    fn retarget_moves_first_operand_off_its_wire() {
+        let mut pm = PassManager::new();
+        pm.append(Box::new(SabotagePass::new(PipelineFault::RetargetGate { index: 0, offset: 1 })));
+        let result = pm.run(&bell()).unwrap();
+        // H moved from wire 0 to wire 1.
+        assert_eq!(result.circuit.gates()[0].qubits, vec![1]);
+    }
+
+    #[test]
+    fn retarget_never_collides_with_other_operands() {
+        let mut c = Circuit::with_clbits(2, 0);
+        c.push(Gate::new(GateKind::CX, vec![0, 1])).unwrap();
+        let mut pm = PassManager::new();
+        pm.append(Box::new(SabotagePass::new(PipelineFault::RetargetGate { index: 0, offset: 1 })));
+        // Only candidate wire (1) is the CX target, so the fault must
+        // degenerate to a no-op rather than emit `cx 1,1`.
+        let result = pm.run(&c).unwrap();
+        assert_eq!(result.circuit.gates()[0].qubits, vec![0, 1]);
+    }
+
+    #[test]
+    fn stray_cx_appends_one_gate_even_to_empty_circuits() {
+        let mut pm = PassManager::new();
+        pm.append(Box::new(SabotagePass::new(PipelineFault::InsertStrayCx { a: 3, b: 3 })));
+        let result = pm.run(&Circuit::with_clbits(2, 0)).unwrap();
+        assert_eq!(result.circuit.gates().len(), 1);
+        let gate = &result.circuit.gates()[0];
+        assert_eq!(gate.kind, GateKind::CX);
+        assert_ne!(gate.qubits[0], gate.qubits[1]);
+    }
+
+    #[test]
     fn faults_on_empty_circuits_are_noops() {
         for fault in [
             PipelineFault::DropGate { index: 0 },
             PipelineFault::DuplicateGate { index: 3 },
             PipelineFault::SwapAdjacentGates { index: 0 },
             PipelineFault::FlipCxDirection { nth: 0 },
+            PipelineFault::RetargetGate { index: 0, offset: 1 },
         ] {
             let mut pm = PassManager::new();
             pm.append(Box::new(SabotagePass::new(fault)));

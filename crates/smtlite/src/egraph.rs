@@ -257,7 +257,29 @@ impl EGraph {
     /// Interns an arena term (leaf symbols are interned into the arena's
     /// symbol table for cheap node hashing).
     pub fn add_term(&mut self, arena: &mut TermArena, term: TermId) -> ClassId {
-        match arena.data(term).clone() {
+        self.add_term_memo(arena, term, &mut HashMap::new())
+    }
+
+    /// [`EGraph::add_term`] with an explicit term-interning cache.
+    ///
+    /// The arena hash-conses terms into a DAG, but a naive recursion walks
+    /// the *tree* expansion — exponential for the wire terms of entangling
+    /// circuits, where every multi-qubit gate makes later wires share the
+    /// earlier wires' whole history.  Memoizing per [`TermId`] restores
+    /// O(DAG) interning; callers interning several related terms (e.g. the
+    /// output-wire pairs of one equivalence check) should share one cache
+    /// across calls.  Cached classes may be stale after unions, so hits are
+    /// re-canonicalized through [`EGraph::find`].
+    pub fn add_term_memo(
+        &mut self,
+        arena: &mut TermArena,
+        term: TermId,
+        cache: &mut HashMap<TermId, ClassId>,
+    ) -> ClassId {
+        if let Some(&class) = cache.get(&term) {
+            return self.find(class);
+        }
+        let class = match arena.data(term).clone() {
             TermData::Symbol(name) => {
                 let symbol = arena.intern_symbol(&name);
                 self.add(arena, ENode::Symbol(symbol))
@@ -265,10 +287,12 @@ impl EGraph {
             TermData::Int(v) => self.add(arena, ENode::Int(v)),
             TermData::App(func, args) => {
                 let children: Vec<ClassId> =
-                    args.iter().map(|&a| self.add_term(arena, a)).collect();
+                    args.iter().map(|&a| self.add_term_memo(arena, a, cache)).collect();
                 self.add(arena, ENode::App(func, children))
             }
-        }
+        };
+        cache.insert(term, class);
+        class
     }
 
     /// Merges two classes (into the lower canonical id, so merge results
@@ -563,9 +587,14 @@ pub fn check_equalities(
     budget: &SaturationBudget,
 ) -> EquivCheck {
     let mut egraph = EGraph::new();
+    // One shared interning cache across all pairs: the two sides of a pair
+    // (and different pairs of one batch) share most of their term DAG.
+    let mut cache = HashMap::new();
     let classes: Vec<(ClassId, ClassId)> = pairs
         .iter()
-        .map(|&(a, b)| (egraph.add_term(arena, a), egraph.add_term(arena, b)))
+        .map(|&(a, b)| {
+            (egraph.add_term_memo(arena, a, &mut cache), egraph.add_term_memo(arena, b, &mut cache))
+        })
         .collect();
     let outcome = egraph.run_rules_until(arena, rules, budget, |g| {
         classes.iter().all(|&(a, b)| g.same_class(a, b))

@@ -55,5 +55,5 @@ pub use congruence::CongruenceClosure;
 pub use egraph::{check_equalities, ClassId, EGraph, EquivCheck, SaturationBudget};
 pub use fingerprint::{fingerprint_str, Fingerprint, FingerprintBuilder};
 pub use rewrite::{reference_normalize, Pattern, RewriteRule, Rewriter};
-pub use solver::{Context, FaultSite, Formula, SolverStats, Verdict};
+pub use solver::{Context, FaultSite, Formula, SolverStats, Verdict, MAX_EXPLANATION_NODES};
 pub use term::{SymbolId, TermArena, TermData, TermId};

@@ -25,6 +25,14 @@ use crate::congruence::CongruenceClosure;
 use crate::rewrite::{RewriteRule, Rewriter};
 use crate::term::{TermArena, TermId};
 
+/// Tree-node budget for the normal forms a refutation explanation renders.
+///
+/// Terms print as their tree expansion, which is exponentially larger than
+/// the hash-consed representation for wires of deep entangling circuits;
+/// the clamp keeps every explanation bounded (and the check fast) while
+/// rendering any reasonably sized counterexample in full.
+pub const MAX_EXPLANATION_NODES: usize = 2_048;
+
 /// A quantifier-free formula over interned terms.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Formula {
@@ -367,8 +375,8 @@ impl Context {
                 } else {
                     Verdict::refuted(format!(
                         "terms have distinct normal forms: `{}` vs `{}`",
-                        self.arena.display(na),
-                        self.arena.display(nb)
+                        self.arena.display_clamped(na, MAX_EXPLANATION_NODES),
+                        self.arena.display_clamped(nb, MAX_EXPLANATION_NODES)
                     ))
                 }
             }

@@ -155,20 +155,52 @@ impl TermArena {
     }
 
     /// Pretty-prints a term (for diagnostics and counterexamples).
+    ///
+    /// The rendering expands the hash-consed DAG into its tree form, which
+    /// is exponentially larger than the arena representation for terms with
+    /// heavy sharing (e.g. the output wires of deep entangling circuits).
+    /// Callers printing terms of unbounded provenance must use
+    /// [`TermArena::display_clamped`] instead.
     pub fn display(&self, id: TermId) -> String {
-        match self.data(id) {
-            TermData::Symbol(s) => s.clone(),
-            TermData::Int(v) => v.to_string(),
-            TermData::App(f, args) => {
-                let name = self.symbol_name(*f);
-                if args.is_empty() {
-                    name.to_string()
-                } else {
-                    let inner: Vec<String> = args.iter().map(|&a| self.display(a)).collect();
-                    format!("{name}({})", inner.join(", "))
+        self.display_clamped(id, usize::MAX)
+    }
+
+    /// Pretty-prints a term, rendering at most `max_nodes` tree nodes and
+    /// eliding every subterm beyond the budget as `…`.  Terms smaller than
+    /// the budget render byte-identically to [`TermArena::display`]; the
+    /// clamp bounds both the output size and the rendering time, which are
+    /// otherwise exponential in the sharing depth of the term DAG.
+    pub fn display_clamped(&self, id: TermId, max_nodes: usize) -> String {
+        fn go(arena: &TermArena, id: TermId, budget: &mut usize, out: &mut String) {
+            if *budget == 0 {
+                out.push('…');
+                return;
+            }
+            *budget -= 1;
+            match arena.data(id) {
+                TermData::Symbol(s) => out.push_str(s),
+                TermData::Int(v) => {
+                    out.push_str(&v.to_string());
+                }
+                TermData::App(f, args) => {
+                    out.push_str(arena.symbol_name(*f));
+                    if !args.is_empty() {
+                        out.push('(');
+                        for (i, &arg) in args.iter().enumerate() {
+                            if i > 0 {
+                                out.push_str(", ");
+                            }
+                            go(arena, arg, budget, out);
+                        }
+                        out.push(')');
+                    }
                 }
             }
         }
+        let mut out = String::new();
+        let mut budget = max_nodes;
+        go(self, id, &mut budget, &mut out);
+        out
     }
 
     /// The size (number of nodes) of a term.

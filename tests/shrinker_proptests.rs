@@ -1,0 +1,101 @@
+//! Properties of the counterexample shrinker: shrinking is deterministic,
+//! reaches a fixed point (re-shrinking a shrunk case is the identity), and
+//! never loses the failure it is shrinking toward.
+//!
+//! The predicates here are cheap pure functions of the case, not the live
+//! certify/check oracle — the campaign wires the oracle in; these tests pin
+//! the delta-debugging algebra itself.
+
+use giallar::core::gen::{generate_circuit, shrink_case, GateAlphabet, ShrinkCase};
+use giallar::core::mutate::XorShift;
+use giallar::ir::GateKind;
+use giallar::passes::inject::PipelineFault;
+use proptest::prelude::*;
+
+/// Strategy: a small drawn fault with bounded coordinates.
+fn fault_strategy() -> impl Strategy<Value = PipelineFault> {
+    prop_oneof![
+        (0usize..8).prop_map(|index| PipelineFault::DropGate { index }),
+        (0usize..8).prop_map(|index| PipelineFault::DuplicateGate { index }),
+        (0usize..8).prop_map(|index| PipelineFault::SwapAdjacentGates { index }),
+        (0usize..8).prop_map(|nth| PipelineFault::FlipCxDirection { nth }),
+        (0usize..6, 0usize..6).prop_map(|(a, b)| PipelineFault::CorruptFinalLayout { a, b }),
+        (0usize..8, 1usize..6)
+            .prop_map(|(index, offset)| PipelineFault::RetargetGate { index, offset }),
+        (0usize..6, 0usize..6).prop_map(|(a, b)| PipelineFault::InsertStrayCx { a, b }),
+    ]
+}
+
+/// Strategy: a generated circuit plus a drawn fault.
+fn case_strategy() -> impl Strategy<Value = ShrinkCase> {
+    (0u64..u64::MAX, 2usize..5, 1usize..20, 0usize..3, fault_strategy()).prop_map(
+        |(seed, width, depth, alphabet_index, fault)| ShrinkCase {
+            circuit: generate_circuit(
+                &mut XorShift::new(seed),
+                GateAlphabet::ALL[alphabet_index],
+                width,
+                depth,
+            ),
+            fault,
+        },
+    )
+}
+
+/// The reference failure predicate: the circuit still contains a CX gate.
+/// Monotone enough to shrink against, cheap enough for many cases.
+fn still_has_cx(case: &ShrinkCase) -> bool {
+    case.circuit.gates().iter().any(|g| matches!(g.kind, GateKind::CX))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Shrinking reaches a fixed point: re-shrinking a shrunk case is the
+    /// identity.
+    #[test]
+    fn shrinking_is_a_fixed_point(case in case_strategy()) {
+        let shrunk = shrink_case(&case, &still_has_cx);
+        let again = shrink_case(&shrunk, &still_has_cx);
+        prop_assert_eq!(&again, &shrunk, "re-shrinking moved a fixed point");
+    }
+
+    /// The shrunk case still satisfies the failure predicate whenever the
+    /// input did; an input that never failed comes back unchanged.
+    #[test]
+    fn shrinking_never_loses_the_failure(case in case_strategy()) {
+        let shrunk = shrink_case(&case, &still_has_cx);
+        if still_has_cx(&case) {
+            prop_assert!(still_has_cx(&shrunk), "shrinking lost the failure");
+            prop_assert!(
+                shrunk.circuit.gates().len() <= case.circuit.gates().len(),
+                "shrinking grew the circuit"
+            );
+        } else {
+            prop_assert_eq!(&shrunk, &case, "a non-failing case must come back unchanged");
+        }
+    }
+
+    /// Shrinking is a pure function of the case: two runs produce
+    /// byte-identical canonical forms.
+    #[test]
+    fn shrinking_is_byte_stable_per_seed(case in case_strategy()) {
+        let first = shrink_case(&case, &still_has_cx).canonical_form();
+        let second = shrink_case(&case, &still_has_cx).canonical_form();
+        prop_assert_eq!(first, second, "shrinking is not deterministic");
+    }
+
+    /// Against a fault-only predicate the gate ddmin empties the circuit
+    /// and the field-wise pass drives every fault coordinate to its
+    /// minimum — the canonical minimal wounding edit.
+    #[test]
+    fn fault_only_predicates_shrink_to_the_canonical_minimum(case in case_strategy()) {
+        let is_drop = |c: &ShrinkCase| matches!(c.fault, PipelineFault::DropGate { .. });
+        let shrunk = shrink_case(&case, &is_drop);
+        if matches!(case.fault, PipelineFault::DropGate { .. }) {
+            prop_assert_eq!(shrunk.circuit.gates().len(), 0, "gate ddmin left gates behind");
+            prop_assert_eq!(shrunk.fault, PipelineFault::DropGate { index: 0 });
+        } else {
+            prop_assert_eq!(&shrunk, &case);
+        }
+    }
+}
